@@ -1,0 +1,53 @@
+// Reproduces the Section 5.5 scaling argument: "With 100 bootstraps, MGPS
+// with multigrain (EDTLP-LLP) parallelism will outperform plain EDTLP if
+// the bootstraps are distributed between four or more dual-Cell blades."
+//
+// Spreading a fixed 100-bootstrap analysis over more blades shrinks each
+// blade's share; once a blade serves few enough bootstraps, task-level
+// parallelism alone cannot fill its 16 SPEs and MGPS's loop-level layer
+// starts paying again.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 100));
+
+  rt::RunConfig blade_cfg = bench::run_config(cli, /*cells=*/2);
+  const task::Workload wl = task::make_synthetic(bootstraps, scfg);
+
+  util::Table table("Section 5.5: " + std::to_string(bootstraps) +
+                    " bootstraps over a cluster of dual-Cell blades");
+  table.header({"blades", "bootstraps/blade", "EDTLP", "MGPS", "winner",
+                "MGPS gain"});
+  double gain_first = 0.0, gain_last = 0.0;
+  for (int blades : {1, 2, 4, 8, 16, 25}) {
+    const auto edtlp = rt::run_cluster(
+        wl, [] { return std::make_unique<rt::EdtlpPolicy>(); }, blades,
+        blade_cfg);
+    const auto mgps = rt::run_cluster(
+        wl, [] { return std::make_unique<rt::MgpsPolicy>(); }, blades,
+        blade_cfg);
+    const bool mgps_wins = mgps.makespan_s < edtlp.makespan_s * 0.999;
+    const double gain = edtlp.makespan_s / mgps.makespan_s;
+    if (blades == 1) gain_first = gain;
+    gain_last = gain;
+    table.row({std::to_string(blades),
+               std::to_string((bootstraps + blades - 1) / blades),
+               util::Table::seconds(edtlp.makespan_s),
+               util::Table::seconds(mgps.makespan_s),
+               mgps_wins ? "MGPS" : "tie/EDTLP",
+               util::Table::num(edtlp.makespan_s / mgps.makespan_s)});
+  }
+  table.print();
+  std::printf("\nshape check: MGPS gain grows as blades dilute the "
+              "per-blade bootstrap count: %.2fx at 1 blade -> %.2fx at 25 "
+              "blades (the paper's Section 5.5 argument; our MGPS also "
+              "wins the within-blade tail, so it never loses outright)\n",
+              gain_first, gain_last);
+  return 0;
+}

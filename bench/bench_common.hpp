@@ -1,0 +1,57 @@
+// Shared plumbing for the table/figure reproduction benches: default
+// workload settings, paper reference values, and run helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/mgps.hpp"
+#include "runtime/policy.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "task/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace cbe::bench {
+
+/// Builds the synthetic 42_SC-calibrated workload used by the scheduler
+/// benches.  `--tasks` overrides the scaled-down per-bootstrap task count
+/// (the paper's full-fidelity count is ~267k tasks per bootstrap).
+inline task::SyntheticConfig synthetic_config(const util::Cli& cli) {
+  task::SyntheticConfig cfg;
+  cfg.tasks_per_bootstrap =
+      static_cast<int>(cli.get_int("tasks", cfg.tasks_per_bootstrap));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.duration_cv = cli.get_double("cv", cfg.duration_cv);
+  return cfg;
+}
+
+inline rt::RunConfig run_config(const util::Cli& cli, int cells = 1) {
+  rt::RunConfig cfg;
+  cfg.cell.num_cells = cells;
+  cfg.cell.smt_slowdown =
+      cli.get_double("smt-slowdown", cfg.cell.smt_slowdown);
+  cfg.cell.dispatch_us = cli.get_double("dispatch-us", cfg.cell.dispatch_us);
+  return cfg;
+}
+
+/// Runs `policy` over a B-bootstrap synthetic workload and returns seconds.
+inline rt::RunResult run_bootstraps(int bootstraps,
+                                    rt::SchedulerPolicy& policy,
+                                    const task::SyntheticConfig& scfg,
+                                    const rt::RunConfig& rcfg) {
+  const task::Workload wl = task::make_synthetic(bootstraps, scfg);
+  return rt::run_workload(wl, policy, rcfg);
+}
+
+/// Normalizes a measured series to its first element, for paper-shape
+/// comparison independent of the task-count scaling.
+inline std::vector<double> normalized(const std::vector<double>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  const double base = v.empty() || v.front() == 0.0 ? 1.0 : v.front();
+  for (double x : v) out.push_back(x / base);
+  return out;
+}
+
+}  // namespace cbe::bench

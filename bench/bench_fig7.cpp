@@ -1,0 +1,61 @@
+// Reproduces Figure 7 of the paper: static EDTLP-LLP (2 and 4 SPEs per
+// parallel loop) vs pure EDTLP, for (a) 1-16 and (b) 1-128 bootstraps.
+//
+// Shape targets from the paper:
+//   - EDTLP-LLP beats EDTLP for <= 4 bootstraps (only the hybrid can use
+//     more than 4 SPEs there);
+//   - EDTLP wins from 5 bootstraps on, with a staircase of period 8 (its
+//     makespan is flat while bootstraps <= 8, then doubles, ...);
+//   - at many bootstraps EDTLP dominates and the gap grows, because LLP's
+//     sublinear loop speedup wastes SPEs that TLP could use at ~100%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const auto rcfg = bench::run_config(cli);
+
+  const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
+                                  9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<int> large = {1, 2, 4, 8, 12, 16, 24, 32,
+                                  48, 64, 96, 128};
+
+  for (const auto& [name, points] :
+       {std::pair{std::string("Figure 7a (1-16 bootstraps)"), small},
+        std::pair{std::string("Figure 7b (1-128 bootstraps)"), large}}) {
+    util::Table table(name + ": static EDTLP-LLP vs EDTLP");
+    table.header({"bootstraps", "EDTLP-LLP(2)", "EDTLP-LLP(4)", "EDTLP",
+                  "best"});
+    util::AsciiChart chart(name, "bootstraps", "seconds");
+    std::vector<double> xs, llp2_v, llp4_v, edtlp_v;
+    for (int b : points) {
+      rt::StaticHybridPolicy llp2(2), llp4(4);
+      rt::EdtlpPolicy edtlp;
+      const double t2 =
+          bench::run_bootstraps(b, llp2, scfg, rcfg).makespan_s;
+      const double t4 =
+          bench::run_bootstraps(b, llp4, scfg, rcfg).makespan_s;
+      const double te =
+          bench::run_bootstraps(b, edtlp, scfg, rcfg).makespan_s;
+      const char* best = t2 <= t4 && t2 <= te ? "LLP(2)"
+                         : t4 <= te           ? "LLP(4)"
+                                              : "EDTLP";
+      table.row({std::to_string(b), util::Table::seconds(t2),
+                 util::Table::seconds(t4), util::Table::seconds(te), best});
+      xs.push_back(b);
+      llp2_v.push_back(t2);
+      llp4_v.push_back(t4);
+      edtlp_v.push_back(te);
+    }
+    table.print();
+    chart.add_series("EDTLP-LLP(2)", xs, llp2_v);
+    chart.add_series("EDTLP-LLP(4)", xs, llp4_v);
+    chart.add_series("EDTLP", xs, edtlp_v);
+    chart.print();
+    std::printf("\n");
+  }
+  return 0;
+}

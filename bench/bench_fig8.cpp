@@ -1,0 +1,61 @@
+// Reproduces Figure 8 of the paper: the adaptive MGPS scheduler vs the
+// static EDTLP-LLP schemes and pure EDTLP, (a) 1-16 and (b) 1-128 bootstraps.
+//
+// Shape targets:
+//   - MGPS tracks the best static configuration across the whole range
+//     (hybrid-like for <= 4 bootstraps, EDTLP-like beyond ~28);
+//   - MGPS and EDTLP curves overlap completely at many bootstraps (the
+//     paper notes the 1-128 curves coincide);
+//   - the static hybrids fall increasingly behind as bootstraps grow.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const auto rcfg = bench::run_config(cli);
+
+  const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
+                                  9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<int> large = {1, 2, 4, 8, 12, 16, 24, 32,
+                                  48, 64, 96, 128};
+
+  double mgps_128 = 0.0, edtlp_128 = 0.0;
+  for (const auto& [name, points] :
+       {std::pair{std::string("Figure 8a (1-16 bootstraps)"), small},
+        std::pair{std::string("Figure 8b (1-128 bootstraps)"), large}}) {
+    util::Table table(name + ": MGPS vs static schemes");
+    table.header({"bootstraps", "MGPS", "EDTLP-LLP(2)", "EDTLP-LLP(4)",
+                  "EDTLP", "MGPS degree", "MGPS/best-static"});
+    for (int b : points) {
+      rt::MgpsPolicy mgps;
+      rt::StaticHybridPolicy llp2(2), llp4(4);
+      rt::EdtlpPolicy edtlp;
+      const auto rm = bench::run_bootstraps(b, mgps, scfg, rcfg);
+      const double t2 =
+          bench::run_bootstraps(b, llp2, scfg, rcfg).makespan_s;
+      const double t4 =
+          bench::run_bootstraps(b, llp4, scfg, rcfg).makespan_s;
+      const double te =
+          bench::run_bootstraps(b, edtlp, scfg, rcfg).makespan_s;
+      const double best = std::min({t2, t4, te});
+      table.row({std::to_string(b), util::Table::seconds(rm.makespan_s),
+                 util::Table::seconds(t2), util::Table::seconds(t4),
+                 util::Table::seconds(te),
+                 util::Table::num(rm.mean_loop_degree),
+                 util::Table::num(rm.makespan_s / best)});
+      if (b == 128) {
+        mgps_128 = rm.makespan_s;
+        edtlp_128 = te;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("shape check: MGPS(128)/EDTLP(128) = %.3f "
+              "(paper: curves overlap completely, ratio ~1.0)\n",
+              mgps_128 / edtlp_128);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 9 of the paper: MGPS vs EDTLP-LLP vs EDTLP on a blade
+// with TWO Cell processors (16 SPEs, 2 PPEs), (a) 1-16 and (b) 1-128
+// bootstraps.
+//
+// Shape targets:
+//   - qualitatively identical to the one-Cell results, shifted: the hybrid
+//     wins up to 8 bootstraps (8 extra SPEs are available for LLP);
+//   - beyond 8 bootstraps task-level parallelism dominates and EDTLP wins;
+//   - MGPS matches or beats both everywhere;
+//   - for a fixed bootstrap count, two Cells deliver almost twice the
+//     performance of one Cell (Section 5.5).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const auto rcfg1 = bench::run_config(cli, /*cells=*/1);
+  const auto rcfg2 = bench::run_config(cli, /*cells=*/2);
+
+  const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
+                                  9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<int> large = {1, 2, 4, 8, 12, 16, 24, 32,
+                                  48, 64, 96, 128};
+
+  for (const auto& [name, points] :
+       {std::pair{std::string("Figure 9a (1-16 bootstraps, 2 Cells)"), small},
+        std::pair{std::string("Figure 9b (1-128 bootstraps, 2 Cells)"),
+                  large}}) {
+    util::Table table(name);
+    table.header({"bootstraps", "MGPS", "EDTLP-LLP(2)", "EDTLP-LLP(4)",
+                  "EDTLP", "best"});
+    for (int b : points) {
+      rt::MgpsPolicy mgps;
+      rt::StaticHybridPolicy llp2(2), llp4(4);
+      rt::EdtlpPolicy edtlp;
+      const double tm =
+          bench::run_bootstraps(b, mgps, scfg, rcfg2).makespan_s;
+      const double t2 =
+          bench::run_bootstraps(b, llp2, scfg, rcfg2).makespan_s;
+      const double t4 =
+          bench::run_bootstraps(b, llp4, scfg, rcfg2).makespan_s;
+      const double te =
+          bench::run_bootstraps(b, edtlp, scfg, rcfg2).makespan_s;
+      const char* best = tm <= t2 && tm <= t4 && tm <= te ? "MGPS"
+                         : t2 <= t4 && t2 <= te            ? "LLP(2)"
+                         : t4 <= te                        ? "LLP(4)"
+                                                           : "EDTLP";
+      table.row({std::to_string(b), util::Table::seconds(tm),
+                 util::Table::seconds(t2), util::Table::seconds(t4),
+                 util::Table::seconds(te), best});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  // Section 5.5 scaling check: two Cells vs one Cell at fixed work.
+  for (int b : {16, 64, 128}) {
+    rt::EdtlpPolicy e1, e2;
+    const double one =
+        bench::run_bootstraps(b, e1, scfg, rcfg1).makespan_s;
+    const double two =
+        bench::run_bootstraps(b, e2, scfg, rcfg2).makespan_s;
+    std::printf("scaling check: EDTLP %3d bootstraps, 1-Cell/2-Cell = %.2f "
+                "(paper: ~2x)\n", b, one / two);
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks for the substrates: event-engine
+// throughput, likelihood kernels (scalar vs SIMD, and per-pattern cost),
+// fast math, and trace generation.  These measure the *host* performance of
+// the reproduction itself, not simulated Cell time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "phylo/bootstrap.hpp"
+#include "phylo/kernels_simd.hpp"
+#include "sim/engine.hpp"
+#include "spu/mathlib.hpp"
+#include "task/synthetic.hpp"
+
+namespace {
+
+using namespace cbe;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(sim::Time::ns(i % 1009), [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EngineCallbackChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 10000) eng.schedule_after(sim::Time::ns(1), chain);
+    };
+    eng.schedule_after(sim::Time::ns(1), chain);
+    eng.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineCallbackChain);
+
+struct KernelFixture {
+  KernelFixture() {
+    phylo::SyntheticAlignmentConfig cfg;
+    cfg.taxa = 16;
+    cfg.sites = 912;  // -> a few hundred patterns
+    alignment = phylo::make_synthetic_alignment(cfg);
+    pa = std::make_unique<phylo::PatternAlignment>(alignment);
+    model = std::make_unique<phylo::SubstModel>(
+        phylo::GtrParams::hky(2.5, pa->base_frequencies()), 0.8);
+    phylo::init_tip_clv(*pa, 0, left);
+    phylo::init_tip_clv(*pa, 1, right);
+    pl = phylo::BranchP::at(*model, 0.1);
+    pr = phylo::BranchP::at(*model, 0.25);
+  }
+  phylo::Alignment alignment;
+  std::unique_ptr<phylo::PatternAlignment> pa;
+  std::unique_ptr<phylo::SubstModel> model;
+  phylo::Clv<double> left, right;
+  phylo::BranchP pl, pr;
+};
+
+KernelFixture& fixture() {
+  static KernelFixture f;
+  return f;
+}
+
+void BM_NewviewScalar(benchmark::State& state) {
+  auto& f = fixture();
+  phylo::Clv<double> out;
+  for (auto _ : state) {
+    phylo::newview(f.left, f.pl, f.right, f.pr, out);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_NewviewScalar);
+
+void BM_NewviewSimd(benchmark::State& state) {
+  auto& f = fixture();
+  phylo::Clv<double> out;
+  for (auto _ : state) {
+    phylo::newview_simd(f.left, f.pl, f.right, f.pr, out);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_NewviewSimd);
+
+void BM_Evaluate(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    const double lnl =
+        phylo::evaluate(f.left, f.right, f.pl, *f.model, f.pa->weights());
+    benchmark::DoNotOptimize(lnl);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_Evaluate);
+
+void BM_EvaluateSimd(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    const double lnl = phylo::evaluate_simd(f.left, f.right, f.pl, *f.model,
+                                            f.pa->weights());
+    benchmark::DoNotOptimize(lnl);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_EvaluateSimd);
+
+void BM_FastExp(benchmark::State& state) {
+  double x = -30.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 1.0) x = -30.0;
+    benchmark::DoNotOptimize(spu::fast_exp(x));
+  }
+}
+BENCHMARK(BM_FastExp);
+
+void BM_LibmExp(benchmark::State& state) {
+  double x = -30.0;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 1.0) x = -30.0;
+    benchmark::DoNotOptimize(std::exp(x));
+  }
+}
+BENCHMARK(BM_LibmExp);
+
+void BM_SyntheticWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    const task::Workload wl = task::make_synthetic(8, {});
+    benchmark::DoNotOptimize(wl.bootstraps.data());
+  }
+}
+BENCHMARK(BM_SyntheticWorkload);
+
+void BM_GammaRates(benchmark::State& state) {
+  double alpha = 0.1;
+  for (auto _ : state) {
+    alpha = alpha > 10.0 ? 0.1 : alpha + 0.01;
+    benchmark::DoNotOptimize(phylo::discrete_gamma_rates(alpha));
+  }
+}
+BENCHMARK(BM_GammaRates);
+
+}  // namespace
+
+BENCHMARK_MAIN();

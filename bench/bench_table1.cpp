@@ -1,0 +1,59 @@
+// Reproduces Table 1 of the paper: RAxML execution time with the EDTLP
+// user-level scheduler vs. the native Linux scheduler, for 1..8 workers with
+// one bootstrap per worker (constant work per process).
+//
+// Paper anchors (42_SC input, seconds):
+//   workers:        1      2      3      4      5      6      7      8
+//   EDTLP:      28.46  29.36  32.54  33.12  37.27  38.66  41.87  43.32
+//   Linux:      28.42  29.23  56.95  57.38  85.88  86.43 114.92 115.51
+// Shape targets: Linux grows in ceil(N/2) waves; EDTLP stays within ~1.5x of
+// one bootstrap; EDTLP/Linux reaches ~2.6x at 7-8 workers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const auto rcfg = bench::run_config(cli);
+
+  const double paper_edtlp[] = {28.46, 29.36, 32.54, 33.12,
+                                37.27, 38.66, 41.87, 43.32};
+  const double paper_linux[] = {28.42, 29.23, 56.95, 57.38,
+                                85.88, 86.43, 114.92, 115.51};
+
+  util::Table table(
+      "Table 1: EDTLP vs Linux scheduler (1 bootstrap per worker)");
+  table.header({"workers", "EDTLP(sim)", "Linux(sim)", "Linux/EDTLP",
+                "EDTLP(norm)", "paper", "Linux(norm)", "paper"});
+
+  std::vector<double> edtlp_s, linux_s;
+  for (int n = 1; n <= 8; ++n) {
+    rt::EdtlpPolicy edtlp;
+    rt::LinuxPolicy linux_pol;
+    edtlp_s.push_back(bench::run_bootstraps(n, edtlp, scfg, rcfg).makespan_s);
+    linux_s.push_back(
+        bench::run_bootstraps(n, linux_pol, scfg, rcfg).makespan_s);
+  }
+  const auto edtlp_n = bench::normalized(edtlp_s);
+  const auto linux_n = bench::normalized(linux_s);
+
+  for (int n = 1; n <= 8; ++n) {
+    const auto i = static_cast<std::size_t>(n - 1);
+    table.row({std::to_string(n), util::Table::seconds(edtlp_s[i]),
+               util::Table::seconds(linux_s[i]),
+               util::Table::num(linux_s[i] / edtlp_s[i]),
+               util::Table::num(edtlp_n[i]),
+               util::Table::num(paper_edtlp[i] / paper_edtlp[0]),
+               util::Table::num(linux_n[i]),
+               util::Table::num(paper_linux[i] / paper_linux[0])});
+  }
+  table.print();
+
+  std::printf("\nshape checks: Linux(8)/EDTLP(8) = %.2f (paper 2.67), "
+              "EDTLP(8)/EDTLP(1) = %.2f (paper 1.52), "
+              "Linux(8)/Linux(1) = %.2f (paper 4.06)\n",
+              linux_s[7] / edtlp_s[7], edtlp_n[7], linux_n[7]);
+  return 0;
+}

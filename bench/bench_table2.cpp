@@ -1,0 +1,50 @@
+// Reproduces Table 2 of the paper: one bootstrap with loop-level parallelism
+// across 1..8 SPEs (LLP degree sweep).
+//
+// Paper anchors (42_SC, seconds): 28.71 (no LLP), 20.83 (2), 19.37 (3),
+// 18.28 (4), 18.10 (5), 20.52 (6), 18.27 (7), 24.4 (8).
+// Shape targets: speedup rises to ~1.58 around 4-5 SPEs, then degrades as
+// per-worker overheads outgrow the shrinking chunks (the 6-vs-7 wobble in
+// the paper is hardware noise; the model saturates smoothly).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const auto rcfg = bench::run_config(cli);
+
+  const double paper[] = {28.71, 20.83, 19.37, 18.28,
+                          18.10, 20.52, 18.27, 24.40};
+
+  util::Table table("Table 2: LLP degree sweep, 1 worker, 1 bootstrap");
+  table.header({"SPEs/loop", "sim", "speedup(sim)", "speedup(paper)"});
+
+  std::vector<double> secs;
+  for (int d = 1; d <= 8; ++d) {
+    rt::StaticHybridPolicy pol(d);
+    secs.push_back(bench::run_bootstraps(1, pol, scfg, rcfg).makespan_s);
+  }
+  for (int d = 1; d <= 8; ++d) {
+    const auto i = static_cast<std::size_t>(d - 1);
+    table.row({std::to_string(d), util::Table::seconds(secs[i]),
+               util::Table::num(secs[0] / secs[i]),
+               util::Table::num(paper[0] / paper[i])});
+  }
+  table.print();
+
+  double best = 0.0;
+  int best_d = 1;
+  for (int d = 1; d <= 8; ++d) {
+    const double sp = secs[0] / secs[static_cast<std::size_t>(d - 1)];
+    if (sp > best) {
+      best = sp;
+      best_d = d;
+    }
+  }
+  std::printf("\nshape checks: best speedup %.2f at %d SPEs "
+              "(paper: 1.59 at 5 SPEs)\n", best, best_d);
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "cellsim/machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cbe::cell {
+
+CellMachine::CellMachine(sim::Engine& eng, CellParams params,
+                         const task::ModuleRegistry& modules)
+    : eng_(eng), params_(params), modules_(&modules), mfc_(params) {
+  for (int i = 0; i < params_.total_spes(); ++i) {
+    spes_.emplace_back(i, params_.cell_of_spe(i), params_.local_store_bytes);
+  }
+  Ppe::Config pc;
+  pc.contexts = params_.contexts_per_ppe;
+  pc.clock_ghz = params_.clock_ghz;
+  pc.smt_slowdown = params_.smt_slowdown;
+  pc.ctx_switch = params_.ctx_switch;
+  pc.resume_penalty = params_.resume_penalty;
+  for (int c = 0; c < params_.num_cells; ++c) {
+    ppes_.push_back(std::make_unique<Ppe>(eng_, pc));
+  }
+}
+
+std::vector<int> CellMachine::idle_spes(int preferred_cell) const {
+  std::vector<int> out;
+  for (const auto& s : spes_) {
+    if (s.idle() && s.cell() == preferred_cell) out.push_back(s.id());
+  }
+  for (const auto& s : spes_) {
+    if (s.idle() && s.cell() != preferred_cell) out.push_back(s.id());
+  }
+  return out;
+}
+
+int CellMachine::count_idle_spes() const noexcept {
+  int n = 0;
+  for (const auto& s : spes_) n += s.idle() ? 1 : 0;
+  return n;
+}
+
+void CellMachine::ensure_module(int spe_id, std::uint16_t module,
+                                ModuleVariant v, Fn done) {
+  Spe& s = spe(spe_id);
+  if (s.has_module(module, v)) {
+    done();
+    return;
+  }
+  const auto& mod = modules_->get(module);
+  const std::size_t bytes =
+      v == ModuleVariant::Parallel && mod.parallel_bytes > 0
+          ? mod.parallel_bytes
+          : mod.bytes;
+  s.set_module(module, v, bytes);
+  dma(spe_id, static_cast<double>(bytes),
+      MfcRules::list_entries(bytes, params_), std::move(done));
+}
+
+void CellMachine::spe_compute(int spe_id, double cycles, Fn done) {
+  (void)spe(spe_id);  // bounds check
+  eng_.schedule_after(sim::cycles_to_time(cycles, params_.clock_ghz),
+                      [cb = std::move(done)] { cb(); });
+}
+
+void CellMachine::dma(int spe_id, double bytes, int chunks, Fn done) {
+  if (bytes <= 0.0) {
+    done();
+    return;
+  }
+  ++active_dma_;
+  // Each Cell has its own XDR memory (512 MB per processor on the blade),
+  // so DMA congestion is per-Cell: count busy SPEs of this SPE's Cell.
+  const int cell = spe(spe_id).cell();
+  int busy_in_cell = 0;
+  for (const auto& s : spes_) {
+    if (s.cell() == cell && !s.idle()) ++busy_in_cell;
+  }
+  const sim::Time t = mfc_.transfer_time(bytes, chunks,
+                                         std::max(busy_in_cell, 1),
+                                         /*cross_cell=*/false);
+  eng_.schedule_after(t, [this, cb = std::move(done)] {
+    --active_dma_;
+    cb();
+  });
+}
+
+sim::Time CellMachine::signal_latency(int spe_id) const noexcept {
+  (void)spe_id;
+  return params_.mailbox_latency;
+}
+
+sim::Time CellMachine::pass_latency(int from, int to) const noexcept {
+  const bool cross = spe(from).cell() != spe(to).cell();
+  return cross ? params_.pass_latency_local * params_.cross_cell_factor
+               : params_.pass_latency_local;
+}
+
+void CellMachine::signal(int spe_id, Fn done) {
+  eng_.schedule_after(signal_latency(spe_id),
+                      [cb = std::move(done)] { cb(); });
+}
+
+sim::Time CellMachine::solo_dma_time(double bytes,
+                                     int chunks) const noexcept {
+  return mfc_.transfer_time(bytes, chunks, 1, /*cross_cell=*/false);
+}
+
+sim::Time CellMachine::code_load_time(std::uint16_t module,
+                                      ModuleVariant v) const {
+  const auto& mod = modules_->get(module);
+  const std::size_t bytes =
+      v == ModuleVariant::Parallel && mod.parallel_bytes > 0
+          ? mod.parallel_bytes
+          : mod.bytes;
+  return mfc_.transfer_time(static_cast<double>(bytes),
+                            MfcRules::list_entries(bytes, params_), 1,
+                            /*cross_cell=*/false);
+}
+
+double CellMachine::mean_spe_utilization() const noexcept {
+  if (spes_.empty() || eng_.now().nanoseconds() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : spes_) sum += s.utilization(eng_.now());
+  return sum / static_cast<double>(spes_.size());
+}
+
+}  // namespace cbe::cell

@@ -1,0 +1,83 @@
+// The assembled Cell blade: one or two Cells, each with a dual-context PPE
+// and eight SPEs, connected by the EIB.  Exposes timed *mechanisms* (code
+// loading, DMA, SPE compute, mailbox signals); schedulers compose them into
+// policies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cellsim/mfc.hpp"
+#include "cellsim/params.hpp"
+#include "cellsim/ppe.hpp"
+#include "cellsim/spe.hpp"
+#include "sim/engine.hpp"
+#include "task/task.hpp"
+
+namespace cbe::cell {
+
+class CellMachine {
+ public:
+  using Fn = std::function<void()>;
+
+  CellMachine(sim::Engine& eng, CellParams params,
+              const task::ModuleRegistry& modules);
+
+  sim::Engine& engine() noexcept { return eng_; }
+  const CellParams& params() const noexcept { return params_; }
+  const task::ModuleRegistry& modules() const noexcept { return *modules_; }
+
+  int num_spes() const noexcept { return static_cast<int>(spes_.size()); }
+  int num_cells() const noexcept { return params_.num_cells; }
+  Spe& spe(int i) { return spes_.at(static_cast<std::size_t>(i)); }
+  const Spe& spe(int i) const { return spes_.at(static_cast<std::size_t>(i)); }
+  Ppe& ppe(int cell = 0) { return *ppes_.at(static_cast<std::size_t>(cell)); }
+
+  /// Idle SPE ids, preferring the given cell first (locality).
+  std::vector<int> idle_spes(int preferred_cell = 0) const;
+  int count_idle_spes() const noexcept;
+
+  /// Ensures the (module, variant) image is resident on `spe`; `done` fires
+  /// immediately if already resident, else after the code DMA.  The paper's
+  /// runtime pre-loads modules and swaps variants only when the MGPS policy
+  /// flips between EDTLP and EDTLP-LLP (Section 5.4).
+  void ensure_module(int spe, std::uint16_t module, ModuleVariant v, Fn done);
+
+  /// Runs `cycles` of SPU compute on `spe`, then `done`.
+  void spe_compute(int spe, double cycles, Fn done);
+
+  /// DMA between main memory and `spe`'s local store.  `chunks` models
+  /// aggregation: an optimized transfer uses one DMA-list entry per 16 KB;
+  /// naive code issues one small request per loop iteration.
+  void dma(int spe, double bytes, int chunks, Fn done);
+
+  /// One-way PPE<->SPE mailbox signal delay (t_comm in the granularity
+  /// test of Section 5.2).
+  sim::Time signal_latency(int spe) const noexcept;
+  /// SPE-to-SPE `Pass` structure delivery delay (Section 5.3.1).
+  sim::Time pass_latency(int from, int to) const noexcept;
+  /// Schedules `done` after the one-way signal latency.
+  void signal(int spe, Fn done);
+
+  /// Uncontended transfer time for `bytes` in `chunks` requests (used by the
+  /// granularity test, which reasons about intrinsic task cost).
+  sim::Time solo_dma_time(double bytes, int chunks) const noexcept;
+  /// Uncontended load time of a module variant's code image.
+  sim::Time code_load_time(std::uint16_t module, ModuleVariant v) const;
+
+  /// Aggregate SPE utilization in [0,1] over the simulation so far.
+  double mean_spe_utilization() const noexcept;
+  int active_dmas() const noexcept { return active_dma_; }
+
+ private:
+  sim::Engine& eng_;
+  CellParams params_;
+  const task::ModuleRegistry* modules_;
+  Mfc mfc_;
+  std::vector<Spe> spes_;
+  std::vector<std::unique_ptr<Ppe>> ppes_;
+  int active_dma_ = 0;
+};
+
+}  // namespace cbe::cell

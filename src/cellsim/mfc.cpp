@@ -1,0 +1,54 @@
+#include "cellsim/mfc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbe::cell {
+
+bool MfcRules::valid_size(std::size_t bytes, const CellParams& p) noexcept {
+  if (bytes == 0 || bytes > p.max_dma_bytes) return false;
+  if (bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8) return true;
+  return bytes % 16 == 0;
+}
+
+bool MfcRules::valid_alignment(std::size_t ls_addr, std::size_t ea_addr,
+                               std::size_t bytes) noexcept {
+  if (bytes >= 16) return ls_addr % 16 == 0 && ea_addr % 16 == 0;
+  // Sub-quadword transfers must be naturally aligned and LS/EA congruent
+  // within the quadword.
+  return ls_addr % bytes == 0 && ea_addr % bytes == 0 &&
+         ls_addr % 16 == ea_addr % 16;
+}
+
+int MfcRules::list_entries(std::size_t bytes, const CellParams& p) noexcept {
+  if (bytes == 0) return 0;
+  return static_cast<int>((bytes + p.max_dma_bytes - 1) / p.max_dma_bytes);
+}
+
+bool MfcRules::fits_one_list(std::size_t bytes, const CellParams& p) noexcept {
+  return list_entries(bytes, p) <= p.dma_list_max_entries;
+}
+
+int MfcRules::naive_chunks(std::size_t bytes) noexcept {
+  constexpr std::size_t kNaiveChunk = 2048;
+  if (bytes == 0) return 0;
+  return static_cast<int>((bytes + kNaiveChunk - 1) / kNaiveChunk);
+}
+
+sim::Time Mfc::transfer_time(double bytes, int chunks, int congestion,
+                             bool cross_cell) const noexcept {
+  if (bytes <= 0.0) return sim::Time();
+  chunks = std::max(chunks, 1);
+  const double share =
+      std::min(p_.eib_gbps, p_.mem_gbps) /
+      static_cast<double>(std::max(congestion, 1));
+  const double gbps = std::min(p_.spe_dma_gbps, share);
+  // GB/s == bytes/ns, so wire time in ns is bytes / gbps.
+  double ns = bytes / gbps;
+  ns += static_cast<double>(chunks) *
+        static_cast<double>(p_.dma_setup.nanoseconds());
+  if (cross_cell) ns *= p_.cross_cell_factor;
+  return sim::Time::ns(static_cast<std::int64_t>(std::ceil(ns)));
+}
+
+}  // namespace cbe::cell

@@ -1,0 +1,109 @@
+#include "native/offload_pool.hpp"
+
+#include <algorithm>
+
+namespace cbe::native {
+
+OffloadPool::OffloadPool(int workers) {
+  if (workers <= 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency()) > 1
+                  ? static_cast<int>(std::thread::hardware_concurrency()) - 1
+                  : 1;
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+OffloadPool::~OffloadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int OffloadPool::idle_workers() const noexcept {
+  return workers() - busy_.load(std::memory_order_relaxed);
+}
+
+void OffloadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> OffloadPool::offload(std::function<void()> task) {
+  return offload_result([task = std::move(task)] { task(); });
+}
+
+void OffloadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    job();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void OffloadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body, int degree,
+    std::int64_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  degree = std::clamp(degree, 1, workers() + 1);
+
+  // Shared, self-contained loop state.  Helpers that start late (or after
+  // the loop already finished) find the cursor exhausted and return, so the
+  // master never has to wait for *queued-but-unstarted* helpers — that wait
+  // is what would deadlock a pool whose workers nest parallel_for inside
+  // off-loaded tasks.  The master instead waits on the completed-iteration
+  // counter, which only running participants advance.
+  struct LoopState {
+    std::atomic<std::int64_t> cursor;
+    std::atomic<std::int64_t> completed{0};
+    std::int64_t end;
+    std::int64_t grain;
+    std::function<void(std::int64_t, std::int64_t)> body;
+  };
+  auto st = std::make_shared<LoopState>();
+  st->cursor.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->grain = grain;
+  st->body = body;
+
+  auto run_chunks = [](LoopState& s) {
+    for (;;) {
+      const std::int64_t lo =
+          s.cursor.fetch_add(s.grain, std::memory_order_relaxed);
+      if (lo >= s.end) break;
+      const std::int64_t hi = std::min(lo + s.grain, s.end);
+      s.body(lo, hi);
+      s.completed.fetch_add(hi - lo, std::memory_order_acq_rel);
+    }
+  };
+
+  for (int i = 0; i < degree - 1; ++i) {
+    enqueue([st, run_chunks] { run_chunks(*st); });
+  }
+  run_chunks(*st);  // master participates
+  const std::int64_t total = end - begin;
+  while (st->completed.load(std::memory_order_acquire) < total) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace cbe::native

@@ -1,0 +1,87 @@
+// Host-threads backend: the runtime's scheduling ideas (event-driven task
+// off-loading plus adaptive loop work-sharing) running on real std::thread
+// workers instead of the simulated SPEs.  This is what makes the library
+// usable outside the simulator: examples off-load real kernels here.
+//
+// The pool mirrors the Cell topology: a fixed set of "SPE" workers that
+// serve off-loaded tasks, and a work-sharing primitive that splits a loop
+// across the *idle* workers, master-participating — the host analogue of the
+// paper's LLP executor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cbe::native {
+
+class OffloadPool {
+ public:
+  /// `workers` <= 0 selects hardware_concurrency - 1 (min 1).
+  explicit OffloadPool(int workers = 0);
+  ~OffloadPool();
+
+  OffloadPool(const OffloadPool&) = delete;
+  OffloadPool& operator=(const OffloadPool&) = delete;
+
+  int workers() const noexcept { return static_cast<int>(threads_.size()); }
+  /// Workers not currently running a task (approximate, racy by nature).
+  int idle_workers() const noexcept;
+
+  /// Off-loads a task; the returned future completes when it ran.
+  std::future<void> offload(std::function<void()> task);
+
+  /// Off-loads a computation with a result.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> offload_result(F&& f) {
+    auto prom = std::make_shared<std::promise<R>>();
+    std::future<R> fut = prom->get_future();
+    enqueue([prom, fn = std::forward<F>(f)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          prom->set_value();
+        } else {
+          prom->set_value(fn());
+        }
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    });
+    return fut;
+  }
+
+  /// Work-shares [begin, end) across up to `degree` participants (the
+  /// calling thread included, playing the master SPE).  Chunks are claimed
+  /// dynamically from an atomic cursor (grain-sized), so late-starting
+  /// workers self-balance — the host analogue of the paper's purposeful
+  /// load unbalancing.  Blocks until the whole range is done.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>&
+                        body,
+                    int degree, std::int64_t grain = 256);
+
+  std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+  std::atomic<int> busy_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+};
+
+}  // namespace cbe::native

@@ -1,0 +1,72 @@
+// Non-parametric bootstrapping (Section 3.1): each bootstrap replicate
+// re-weights the alignment columns by resampling, runs an independent tree
+// search, and the replicate trees assign confidence to the best-known ML
+// tree's branches.  Each replicate is exactly the unit of work one MPI
+// process executes in the paper's Cell experiments.
+//
+// TraceGenerator adapts a replicate into the scheduler world: it observes
+// every kernel invocation of a real analysis and renders it as the
+// task::ProcessTrace the Cell runtime consumes, with costs derived from the
+// verified operation-count formulas via the SPU/PPE pipeline models.
+#pragma once
+
+#include "phylo/search.hpp"
+#include "spu/pipeline.hpp"
+#include "task/task.hpp"
+
+namespace cbe::phylo {
+
+struct BootstrapResult {
+  double loglik;
+  Tree tree;
+};
+
+/// Runs one bootstrap replicate: resample weights, search, restore weights.
+BootstrapResult run_bootstrap(PatternAlignment& alignment,
+                              const SubstModel& model, util::Rng& rng,
+                              const SearchConfig& cfg = {},
+                              KernelObserver* observer = nullptr);
+
+struct TraceGenConfig {
+  spu::OptFlags spe_opt = spu::OptFlags::optimized();
+  spu::SpuCostParams spu_costs;
+  spu::PpeCostParams ppe_costs;
+  double clock_ghz = 3.2;
+  /// PPE-side search bookkeeping between consecutive off-loads, in cycles.
+  /// The paper measured ~11 us between off-loads for RAxML (Section 5.2).
+  double ppe_burst_cycles = 11.0 * 3.2e3;
+  std::uint16_t module_id = task::ModuleRegistry::kRaxmlModule;
+};
+
+/// KernelObserver that renders kernel calls into a ProcessTrace.
+class TraceGenerator final : public KernelObserver {
+ public:
+  explicit TraceGenerator(TraceGenConfig cfg = {}) : cfg_(cfg) {}
+
+  void on_kernel(task::KernelClass kind, int patterns,
+                 int newton_iters) override;
+
+  const task::ProcessTrace& trace() const noexcept { return trace_; }
+  task::ProcessTrace take_trace() noexcept { return std::move(trace_); }
+  void reset() { trace_ = {}; }
+
+  /// Builds the TaskDesc for one kernel call (also used by the
+  /// optimization-ladder bench to cost kernels under partial OptFlags).
+  task::TaskDesc describe(task::KernelClass kind, int patterns,
+                          int newton_iters) const;
+
+ private:
+  TraceGenConfig cfg_;
+  task::ProcessTrace trace_;
+};
+
+/// Convenience: runs `count` bootstrap replicates of a real phylogenetic
+/// analysis and returns one ProcessTrace per replicate (the Workload the
+/// Cell scheduler benches replay with --trace=phylo).
+task::Workload make_phylo_workload(PatternAlignment& alignment,
+                                   const SubstModel& model, int count,
+                                   std::uint64_t seed,
+                                   const SearchConfig& scfg = {},
+                                   const TraceGenConfig& tcfg = {});
+
+}  // namespace cbe::phylo

@@ -1,0 +1,133 @@
+#include "phylo/kernels_simd.hpp"
+
+#include <stdexcept>
+
+#include "spu/mathlib.hpp"
+
+namespace cbe::phylo {
+
+namespace {
+
+using spu::double2;
+
+/// P matrix reshaped for 2-lane state pairs: pair 0 covers target states
+/// {0,1}, pair 1 covers {2,3}; col[pair][j] = {P[s0][j], P[s1][j]}.
+struct Pmat2 {
+  double2 col[2][4];
+};
+
+struct BranchP2 {
+  Pmat2 p[kRateCategories];
+
+  static BranchP2 from(const BranchP& bp) {
+    BranchP2 out;
+    for (int r = 0; r < kRateCategories; ++r) {
+      const double* m = bp.p[static_cast<std::size_t>(r)].data();
+      for (int pair = 0; pair < 2; ++pair) {
+        const int s0 = pair * 2, s1 = pair * 2 + 1;
+        for (int j = 0; j < 4; ++j) {
+          out.p[r].col[pair][j] = double2{{m[s0 * 4 + j], m[s1 * 4 + j]}};
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// 2-lane dot product of a reshaped matrix pair-row with a 4-state vector.
+inline double2 pair_dot(const double2 (&col)[4], const double* v) {
+  double2 acc = col[0] * double2::splat(v[0]);
+  acc = madd(col[1], double2::splat(v[1]), acc);
+  acc = madd(col[2], double2::splat(v[2]), acc);
+  acc = madd(col[3], double2::splat(v[3]), acc);
+  return acc;
+}
+
+}  // namespace
+
+void newview_simd(const Clv<double>& left, const BranchP& pl,
+                  const Clv<double>& right, const BranchP& pr,
+                  Clv<double>& out) {
+  const int patterns = left.patterns();
+  if (right.patterns() != patterns) {
+    throw std::invalid_argument("newview_simd: pattern count mismatch");
+  }
+  out.resize(patterns, kRateCategories);
+  const BranchP2 pl2 = BranchP2::from(pl);
+  const BranchP2 pr2 = BranchP2::from(pr);
+
+  for (int p = 0; p < patterns; ++p) {
+    bool all_small = true;
+    for (int r = 0; r < kRateCategories; ++r) {
+      const std::size_t base =
+          (static_cast<std::size_t>(p) * kRateCategories +
+           static_cast<std::size_t>(r)) *
+          kStates;
+      const double* lv = &left.data[base];
+      const double* rv = &right.data[base];
+      double* ov = &out.data[base];
+      for (int pair = 0; pair < 2; ++pair) {
+        const double2 dl = pair_dot(pl2.p[r].col[pair], lv);
+        const double2 dr = pair_dot(pr2.p[r].col[pair], rv);
+        const double2 o = dl * dr;
+        o.store(ov + pair * 2);
+        all_small = all_small && o[0] < kMinLikelihood &&
+                    o[1] < kMinLikelihood;
+      }
+    }
+    out.scale[static_cast<std::size_t>(p)] =
+        left.scale[static_cast<std::size_t>(p)] +
+        right.scale[static_cast<std::size_t>(p)];
+    if (all_small) {
+      const std::size_t base =
+          static_cast<std::size_t>(p) * kRateCategories * kStates;
+      const double2 f = double2::splat(kTwoTo256);
+      for (int k = 0; k < kRateCategories * kStates; k += 2) {
+        (double2::load(&out.data[base + static_cast<std::size_t>(k)]) * f)
+            .store(&out.data[base + static_cast<std::size_t>(k)]);
+      }
+      out.scale[static_cast<std::size_t>(p)] += 1;
+    }
+  }
+}
+
+double evaluate_simd(const Clv<double>& a, const Clv<double>& b,
+                     const BranchP& pb, const SubstModel& model,
+                     const std::vector<double>& weights) {
+  const int patterns = a.patterns();
+  if (b.patterns() != patterns ||
+      static_cast<int>(weights.size()) != patterns) {
+    throw std::invalid_argument("evaluate_simd: size mismatch");
+  }
+  const BranchP2 pb2 = BranchP2::from(pb);
+  const auto& pi = model.freqs();
+  const double2 pi01{{pi[0], pi[1]}};
+  const double2 pi23{{pi[2], pi[3]}};
+  const double rate_w = 1.0 / kRateCategories;
+  double lnl = 0.0;
+
+  for (int p = 0; p < patterns; ++p) {
+    double site = 0.0;
+    for (int r = 0; r < kRateCategories; ++r) {
+      const std::size_t base =
+          (static_cast<std::size_t>(p) * kRateCategories +
+           static_cast<std::size_t>(r)) *
+          kStates;
+      const double* av = &a.data[base];
+      const double* bv = &b.data[base];
+      const double2 inner01 = pair_dot(pb2.p[r].col[0], bv);
+      const double2 inner23 = pair_dot(pb2.p[r].col[1], bv);
+      const double2 term =
+          madd(pi23 * double2::load(av + 2), inner23,
+               pi01 * double2::load(av) * inner01);
+      site += rate_w * term.hsum();
+    }
+    const int sc = a.scale[static_cast<std::size_t>(p)] +
+                   b.scale[static_cast<std::size_t>(p)];
+    lnl += weights[static_cast<std::size_t>(p)] *
+           (spu::fast_log(site) - static_cast<double>(sc) * kLogTwoTo256);
+  }
+  return lnl;
+}
+
+}  // namespace cbe::phylo

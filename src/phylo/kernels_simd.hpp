@@ -1,0 +1,23 @@
+// SIMD variants of the likelihood kernels, written against the portable SPU
+// vector types (spu::double2) exactly the way the Cell port vectorized them:
+// the state dimension is processed in 2-lane pairs with fused
+// multiply-adds, data-dependent scaling checks are kept branch-light, and
+// evaluate uses the SDK-style fast_log approximation instead of libm
+// (Section 5.1's optimization list).  Used by the SPE-optimization example
+// and cross-checked against the scalar kernels by tests.
+#pragma once
+
+#include "phylo/kernels.hpp"
+#include "spu/vec.hpp"
+
+namespace cbe::phylo {
+
+void newview_simd(const Clv<double>& left, const BranchP& pl,
+                  const Clv<double>& right, const BranchP& pr,
+                  Clv<double>& out);
+
+double evaluate_simd(const Clv<double>& a, const Clv<double>& b,
+                     const BranchP& pb, const SubstModel& model,
+                     const std::vector<double>& weights);
+
+}  // namespace cbe::phylo

@@ -1,0 +1,48 @@
+#include "phylo/model_fit.hpp"
+
+#include <cmath>
+
+namespace cbe::phylo {
+
+AlphaFitResult optimize_gamma_alpha(const PatternAlignment& alignment,
+                                    const GtrParams& params, const Tree& tree,
+                                    double lo, double hi, double tol,
+                                    KernelObserver* observer) {
+  AlphaFitResult result;
+  auto eval = [&](double alpha) {
+    const SubstModel model(params, alpha);
+    LikelihoodEngine engine(alignment, model, observer);
+    engine.attach(tree);
+    ++result.evaluations;
+    return engine.loglik();
+  };
+
+  // Golden-section search for the maximum (lnL is unimodal in alpha for
+  // typical data; the bracket endpoints guard pathological flat tails).
+  const double gr = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - gr * (b - a);
+  double x2 = a + gr * (b - a);
+  double f1 = eval(x1);
+  double f2 = eval(x2);
+  while (b - a > tol) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + gr * (b - a);
+      f2 = eval(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - gr * (b - a);
+      f1 = eval(x1);
+    }
+  }
+  result.alpha = f1 >= f2 ? x1 : x2;
+  result.loglik = std::max(f1, f2);
+  return result;
+}
+
+}  // namespace cbe::phylo

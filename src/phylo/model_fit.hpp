@@ -1,0 +1,28 @@
+// Model-parameter fitting: RAxML alternates branch-length optimization with
+// optimization of the Gamma shape alpha (and the GTR exchangeabilities).
+// This module provides the alpha fit via golden-section search on the tree
+// log-likelihood — each candidate alpha rebuilds the discrete rates and
+// re-evaluates the tree, which in trace-generation mode contributes exactly
+// the evaluate()-heavy phases a real analysis has.
+#pragma once
+
+#include "phylo/likelihood.hpp"
+
+namespace cbe::phylo {
+
+struct AlphaFitResult {
+  double alpha = 1.0;
+  double loglik = 0.0;
+  int evaluations = 0;
+};
+
+/// Maximizes the log-likelihood of `tree` over the Gamma shape parameter in
+/// [lo, hi] (branch lengths held fixed).  `tol` is the bracket width at
+/// which the search stops.
+AlphaFitResult optimize_gamma_alpha(const PatternAlignment& alignment,
+                                    const GtrParams& params, const Tree& tree,
+                                    double lo = 0.05, double hi = 20.0,
+                                    double tol = 1e-3,
+                                    KernelObserver* observer = nullptr);
+
+}  // namespace cbe::phylo

@@ -1,0 +1,70 @@
+#include "phylo/search.hpp"
+
+#include <limits>
+
+namespace cbe::phylo {
+
+Tree stepwise_addition_tree(LikelihoodEngine& engine, util::Rng& rng,
+                            const SearchConfig& cfg) {
+  const int n = engine.alignment().taxa();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+
+  Tree tree(n, order[0], order[1], order[2], cfg.leaf_length);
+  engine.attach(tree);
+  for (int i = 3; i < n; ++i) {
+    const int leaf = order[static_cast<std::size_t>(i)];
+    int best_edge = -1;
+    double best = -std::numeric_limits<double>::infinity();
+    for (int e : tree.all_edges()) {
+      const double score = engine.insertion_score(leaf, e, cfg.leaf_length);
+      if (score > best) {
+        best = score;
+        best_edge = e;
+      }
+    }
+    tree.insert_leaf(leaf, best_edge, cfg.leaf_length);
+  }
+  return tree;
+}
+
+double nni_hill_climb(LikelihoodEngine& engine, Tree& tree,
+                      const SearchConfig& cfg, int* rounds_out,
+                      int* accepted_out) {
+  double current = engine.optimize_all_branches(tree, cfg.branch_opt_rounds);
+  int rounds = 0, accepted = 0;
+  for (; rounds < cfg.max_nni_rounds; ++rounds) {
+    // Score every NNI around every internal edge against the cached CLVs,
+    // then apply the best if it improves the current likelihood.
+    int best_edge = -1, best_variant = 0;
+    double best = current;
+    for (int e : tree.internal_edges()) {
+      for (int v = 0; v < 2; ++v) {
+        const double s = engine.nni_score(e, v);
+        if (s > best + cfg.min_improvement) {
+          best = s;
+          best_edge = e;
+          best_variant = v;
+        }
+      }
+    }
+    if (best_edge < 0) break;
+    tree.nni(best_edge, best_variant);
+    ++accepted;
+    current = engine.optimize_all_branches(tree, cfg.branch_opt_rounds);
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  if (accepted_out != nullptr) *accepted_out = accepted;
+  return current;
+}
+
+SearchResult search(LikelihoodEngine& engine, util::Rng& rng,
+                    const SearchConfig& cfg) {
+  Tree tree = stepwise_addition_tree(engine, rng, cfg);
+  int rounds = 0, accepted = 0;
+  const double lnl = nni_hill_climb(engine, tree, cfg, &rounds, &accepted);
+  return SearchResult{std::move(tree), lnl, rounds, accepted};
+}
+
+}  // namespace cbe::phylo

@@ -1,0 +1,43 @@
+// Maximum-likelihood tree search in the RAxML mold: randomized stepwise
+// addition builds a distinct starting tree per run (Section 3.1: each
+// inference starts from a different starting tree), then rounds of
+// nearest-neighbor-interchange hill climbing with Newton branch-length
+// optimization improve it until no move helps.
+#pragma once
+
+#include "phylo/likelihood.hpp"
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace cbe::phylo {
+
+struct SearchConfig {
+  double leaf_length = 0.1;
+  int branch_opt_rounds = 1;   ///< branch sweeps after each improvement pass
+  int max_nni_rounds = 8;      ///< cap on hill-climbing rounds
+  double min_improvement = 1e-4;
+};
+
+struct SearchResult {
+  Tree tree;
+  double loglik = 0.0;
+  int nni_rounds = 0;
+  int nni_accepted = 0;
+};
+
+/// Builds a starting tree by randomized stepwise addition: taxa are added
+/// in random order, each at its best-scoring branch.
+Tree stepwise_addition_tree(LikelihoodEngine& engine, util::Rng& rng,
+                            const SearchConfig& cfg = {});
+
+/// Full search: stepwise addition + NNI hill climbing with branch-length
+/// optimization.  Deterministic given the RNG state.
+SearchResult search(LikelihoodEngine& engine, util::Rng& rng,
+                    const SearchConfig& cfg = {});
+
+/// Hill-climbs an existing tree in place; returns the final log-likelihood.
+double nni_hill_climb(LikelihoodEngine& engine, Tree& tree,
+                      const SearchConfig& cfg, int* rounds_out = nullptr,
+                      int* accepted_out = nullptr);
+
+}  // namespace cbe::phylo

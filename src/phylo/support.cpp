@@ -1,0 +1,95 @@
+#include "phylo/support.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cbe::phylo {
+
+Bipartition::Bipartition(int n_taxa, const std::vector<bool>& side)
+    : n_taxa_(n_taxa),
+      bits_((static_cast<std::size_t>(n_taxa) + 63) / 64, 0) {
+  if (static_cast<int>(side.size()) != n_taxa) {
+    throw std::invalid_argument("Bipartition: side size mismatch");
+  }
+  // Canonical orientation: taxon 0 on the zero side.
+  const bool flip = side[0];
+  for (int t = 0; t < n_taxa; ++t) {
+    if (side[static_cast<std::size_t>(t)] != flip) {
+      bits_[static_cast<std::size_t>(t) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(t) % 64);
+    }
+  }
+}
+
+bool Bipartition::trivial() const noexcept {
+  int count = 0;
+  for (std::uint64_t w : bits_) count += __builtin_popcountll(w);
+  return count <= 1 || count >= n_taxa_ - 1;
+}
+
+Bipartition edge_bipartition(const Tree& tree, int edge) {
+  const auto [a, b] = tree.edge_nodes(edge);
+  std::vector<bool> side(static_cast<std::size_t>(tree.taxa()), false);
+  // DFS from `a` without crossing `edge`.
+  std::vector<std::pair<int, int>> stack{{a, edge}};
+  std::vector<bool> visited(static_cast<std::size_t>(tree.node_count()),
+                            false);
+  (void)b;
+  while (!stack.empty()) {
+    const auto [node, via] = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(node)]) continue;
+    visited[static_cast<std::size_t>(node)] = true;
+    if (tree.leaf(node)) side[static_cast<std::size_t>(node)] = true;
+    for (const auto& nb : tree.neighbors(node)) {
+      if (nb.edge == via) continue;
+      stack.push_back({nb.node, nb.edge});
+    }
+  }
+  return Bipartition(tree.taxa(), side);
+}
+
+std::vector<Bipartition> bipartitions(const Tree& tree) {
+  std::vector<Bipartition> out;
+  for (int e : tree.internal_edges()) {
+    out.push_back(edge_bipartition(tree, e));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> branch_support(const Tree& reference,
+                                   const std::vector<Tree>& replicates) {
+  std::vector<std::set<Bipartition>> replicate_splits;
+  replicate_splits.reserve(replicates.size());
+  for (const Tree& r : replicates) {
+    const auto splits = bipartitions(r);
+    replicate_splits.emplace_back(splits.begin(), splits.end());
+  }
+  std::vector<double> support;
+  for (int e : reference.internal_edges()) {
+    const Bipartition split = edge_bipartition(reference, e);
+    int hits = 0;
+    for (const auto& s : replicate_splits) hits += s.count(split) ? 1 : 0;
+    support.push_back(replicates.empty()
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(replicates.size()));
+  }
+  return support;
+}
+
+int robinson_foulds(const Tree& a, const Tree& b) {
+  if (a.taxa() != b.taxa()) {
+    throw std::invalid_argument("robinson_foulds: different taxon sets");
+  }
+  const auto sa = bipartitions(a);
+  const auto sb = bipartitions(b);
+  std::vector<Bipartition> sym;
+  std::set_symmetric_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                                std::back_inserter(sym));
+  return static_cast<int>(sym.size());
+}
+
+}  // namespace cbe::phylo

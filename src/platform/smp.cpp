@@ -1,0 +1,71 @@
+#include "platform/smp.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace cbe::platform {
+
+namespace {
+
+struct Core {
+  int busy = 0;
+};
+
+}  // namespace
+
+std::vector<double> bootstrap_completions(const SmtMachineConfig& cfg,
+                                          int bootstraps) {
+  sim::Engine eng;
+  std::vector<double> completions(static_cast<std::size_t>(bootstraps), 0.0);
+  std::deque<int> queue;
+  for (int b = 0; b < bootstraps; ++b) queue.push_back(b);
+
+  const int ncores = cfg.sockets * cfg.cores_per_socket;
+  std::vector<Core> cores(static_cast<std::size_t>(ncores));
+
+  // One lambda per context, re-armed until the queue drains.  Service time
+  // is sampled at start from the core's occupancy (including self): with a
+  // busy sibling both contexts run at the SMT-degraded rate.
+  struct Ctx {
+    int core;
+  };
+  std::vector<Ctx> ctxs;
+  for (int c = 0; c < ncores; ++c) {
+    for (int t = 0; t < cfg.threads_per_core; ++t) ctxs.push_back({c});
+  }
+
+  std::function<void(int)> take_next = [&](int ctx_id) {
+    if (queue.empty()) return;
+    const int b = queue.front();
+    queue.pop_front();
+    Core& core = cores[static_cast<std::size_t>(ctxs[
+        static_cast<std::size_t>(ctx_id)].core)];
+    core.busy += 1;
+    const double factor = core.busy > 1 ? cfg.smt_slowdown : 1.0;
+    const sim::Time dt = sim::Time::sec(cfg.bootstrap_seconds * factor);
+    eng.schedule_after(dt, [&, ctx_id, b] {
+      Core& c = cores[static_cast<std::size_t>(
+          ctxs[static_cast<std::size_t>(ctx_id)].core)];
+      c.busy -= 1;
+      completions[static_cast<std::size_t>(b)] = eng.now().to_seconds();
+      take_next(ctx_id);
+    });
+  };
+
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    take_next(static_cast<int>(i));
+  }
+  eng.run();
+  return completions;
+}
+
+double run_bootstraps(const SmtMachineConfig& cfg, int bootstraps) {
+  const auto completions = bootstrap_completions(cfg, bootstraps);
+  double makespan = 0.0;
+  for (double c : completions) makespan = std::max(makespan, c);
+  return makespan;
+}
+
+}  // namespace cbe::platform

@@ -1,0 +1,147 @@
+#include "runtime/loop_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "cellsim/mfc.hpp"
+
+namespace cbe::rt {
+
+void LoopBalancer::observe(double master_idle_us, double worker_wait_us,
+                           double loop_span_us) noexcept {
+  if (!adaptive_ || loop_span_us <= 0.0) return;
+  // If the master sat idle waiting for workers, its share was too small;
+  // if worker results waited on the master, its share was too big.  Step
+  // proportional to the imbalance, capped for stability.
+  const double imbalance = (master_idle_us - worker_wait_us) / loop_span_us;
+  const double step = std::clamp(imbalance * 0.5, -0.10, 0.10);
+  bias_ = std::clamp(bias_ * (1.0 + step), 0.5, 3.0);
+}
+
+void LoopExecutor::run(int master, std::vector<int> workers,
+                       const task::TaskDesc& task, LoopBalancer& balancer,
+                       std::function<void()> done) {
+  cell::CellMachine* m = machine_;
+  sim::Engine* eng = &m->engine();
+  const int d = static_cast<int>(workers.size()) + 1;
+  if (workers.empty()) {
+    throw std::logic_error("LoopExecutor::run: needs at least one worker");
+  }
+  const task::LoopDesc loop = task.loop;
+  if (loop.iterations < static_cast<std::uint32_t>(d)) {
+    throw std::logic_error("LoopExecutor::run: degree exceeds iterations");
+  }
+
+  // Iteration split: master takes a (possibly biased) share, workers split
+  // the remainder evenly with the first workers absorbing the remainder.
+  const double frac = balancer.master_fraction(d);
+  auto m_iters = static_cast<std::uint32_t>(
+      std::lround(static_cast<double>(loop.iterations) * frac));
+  m_iters = std::clamp<std::uint32_t>(
+      m_iters, 1, loop.iterations - static_cast<std::uint32_t>(d - 1));
+  const std::uint32_t rest = loop.iterations - m_iters;
+  const auto nw = static_cast<std::uint32_t>(workers.size());
+  std::vector<std::uint32_t> w_iters(workers.size(), rest / nw);
+  for (std::uint32_t k = 0; k < rest % nw; ++k) ++w_iters[k];
+
+  struct State {
+    int remaining;
+    bool master_done = false;
+    sim::Time start;
+    sim::Time master_end;
+    sim::Time last_arrival;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = static_cast<int>(workers.size());
+  st->start = eng->now();
+  st->done = std::move(done);
+
+  const double clock = m->params().clock_ghz;
+  const double join_cycles_per_worker =
+      params_.join_per_worker_us * clock * 1e3 +
+      loop.reduction_cycles_per_worker;
+  LoopBalancer* bal = &balancer;
+
+  auto maybe_finish = [st, d, join_cycles_per_worker, clock, eng, bal] {
+    if (!st->master_done || st->remaining != 0) return;
+    const double master_idle =
+        st->last_arrival > st->master_end
+            ? (st->last_arrival - st->master_end).to_us()
+            : 0.0;
+    const double worker_wait =
+        st->master_end > st->last_arrival
+            ? (st->master_end - st->last_arrival).to_us()
+            : 0.0;
+    bal->observe(master_idle, worker_wait, (eng->now() - st->start).to_us());
+    // Sequential merge of (d-1) partial results on the master.
+    const sim::Time join = sim::cycles_to_time(
+        join_cycles_per_worker * static_cast<double>(d - 1), clock);
+    eng->schedule_after(join, [st] { st->done(); });
+  };
+
+  // Worker-side chain, entered when the Pass structure lands in its LS.
+  auto launch_worker = [m, eng, st, loop, task, maybe_finish, master](
+                           int w, std::uint32_t iters) {
+    m->ensure_module(w, task.module_id, cell::ModuleVariant::Parallel,
+                     [m, eng, st, loop, maybe_finish, master, w, iters] {
+      const double bytes = loop.bytes_in_per_iter * static_cast<double>(iters);
+      const int chunks = cell::MfcRules::list_entries(
+          static_cast<std::size_t>(bytes), m->params());
+      m->dma(w, bytes, chunks,
+             [m, eng, st, loop, maybe_finish, master, w, iters] {
+        const double cycles =
+            loop.spe_cycles_per_iter * static_cast<double>(iters);
+        m->spe_compute(w, cycles, [m, eng, st, maybe_finish, master, w] {
+          m->spe(w).release(eng->now());
+          eng->schedule_after(m->pass_latency(w, master),
+                              [st, maybe_finish, eng] {
+            st->last_arrival = eng->now();
+            --st->remaining;
+            maybe_finish();
+          });
+        });
+      });
+    });
+  };
+
+  // Master-side chain: non-loop prologue, fork, serialized Pass sends (each
+  // occupying the master for send_per_worker_us), own chunk, then join (in
+  // maybe_finish).  Send completions are at deterministic offsets, so they
+  // are scheduled directly instead of chained.
+  const double send_us = params_.send_per_worker_us;
+  const double fork_us = params_.fork_us;
+  auto start_sends = [m, eng, st, loop, maybe_finish, launch_worker, workers,
+                      w_iters, m_iters, master, send_us] {
+    for (std::size_t k = 0; k < workers.size(); ++k) {
+      const double depart_us = send_us * static_cast<double>(k + 1);
+      eng->schedule_after(sim::Time::us(depart_us),
+                          [m, eng, launch_worker, master, w = workers[k],
+                           iters = w_iters[k]] {
+        eng->schedule_after(m->pass_latency(master, w),
+                            [launch_worker, w, iters] {
+          launch_worker(w, iters);
+        });
+      });
+    }
+    const double busy_us = send_us * static_cast<double>(workers.size());
+    eng->schedule_after(sim::Time::us(busy_us),
+                        [m, eng, st, loop, maybe_finish, m_iters, master] {
+      const double cycles =
+          loop.spe_cycles_per_iter * static_cast<double>(m_iters);
+      m->spe_compute(master, cycles, [st, maybe_finish, eng] {
+        st->master_end = eng->now();
+        st->master_done = true;
+        maybe_finish();
+      });
+    });
+  };
+
+  m->spe_compute(master, task.spe_cycles_nonloop, [eng, start_sends, fork_us] {
+    eng->schedule_after(sim::Time::us(fork_us), start_sends);
+  });
+}
+
+}  // namespace cbe::rt

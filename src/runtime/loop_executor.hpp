@@ -1,0 +1,75 @@
+// Loop-level work-sharing across SPEs (Section 5.3).
+//
+// Reproduces the paper's master/worker protocol: the master SPE fills a
+// `Pass` structure per worker and DMA-puts it into each worker's local store
+// (serialized on the master), workers fetch their loop chunk's data, compute,
+// and DMA the Pass (with their partial result) straight back to the master's
+// local store — SPE-to-SPE, avoiding main memory.  The master computes its
+// own chunk meanwhile, then merges partial results (the reduction) and
+// commits to RAM.
+//
+// Load unbalancing (Section 5.3): the master is purposely given a slightly
+// larger share because workers start late (they must receive the Pass and
+// fetch data first).  A LoopBalancer tunes the master's share from observed
+// idle times across invocations of the same kernel, as the paper describes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cellsim/machine.hpp"
+#include "task/task.hpp"
+
+namespace cbe::rt {
+
+/// Feedback tuner for the master's iteration share.
+class LoopBalancer {
+ public:
+  /// Master share multiplier: 1.0 = equal split.
+  double bias() const noexcept { return bias_; }
+  /// Fraction of iterations the master executes with `degree` SPEs total.
+  double master_fraction(int degree) const noexcept {
+    return bias_ / (bias_ + static_cast<double>(degree - 1));
+  }
+  /// Feed back one invocation's idle times (us): `master_idle` is how long
+  /// the master waited for the slowest worker; `worker_wait` how long the
+  /// slowest worker's result sat waiting for the master.
+  void observe(double master_idle_us, double worker_wait_us,
+               double loop_span_us) noexcept;
+
+  void set_adaptive(bool on) noexcept { adaptive_ = on; }
+  bool adaptive() const noexcept { return adaptive_; }
+
+ private:
+  double bias_ = 1.15;  ///< initial head-start compensation
+  bool adaptive_ = true;
+};
+
+/// Cost knobs for the work-sharing protocol; calibration constants matching
+/// Table 2 (see DESIGN.md).
+struct LoopParams {
+  double fork_us = 1.5;             ///< master loop entry + Pass preparation
+  double send_per_worker_us = 0.8;  ///< serialized Pass put per worker
+  double join_per_worker_us = 2.0;  ///< completion polling + merge per worker
+};
+
+class LoopExecutor {
+ public:
+  LoopExecutor(cell::CellMachine& machine, LoopParams params)
+      : machine_(&machine), params_(params) {}
+
+  /// Executes `task`'s loop across `master` plus `workers` (all already
+  /// reserved by the caller).  Worker SPEs are released as their chunks
+  /// complete; the master stays reserved.  `done` fires when the loop and
+  /// the reduction are complete on the master (before result commit).
+  void run(int master, std::vector<int> workers, const task::TaskDesc& task,
+           LoopBalancer& balancer, std::function<void()> done);
+
+  const LoopParams& params() const noexcept { return params_; }
+
+ private:
+  cell::CellMachine* machine_;
+  LoopParams params_;
+};
+
+}  // namespace cbe::rt

@@ -1,0 +1,24 @@
+// Result records produced by the simulated runtime, consumed by tests and
+// by the table/figure benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cbe::rt {
+
+struct RunResult {
+  double makespan_s = 0.0;            ///< total simulated execution time
+  double mean_spe_utilization = 0.0;  ///< average over SPEs, [0,1]
+  std::uint64_t offloads = 0;         ///< tasks dispatched to SPEs
+  std::uint64_t ppe_fallbacks = 0;    ///< tasks run on the PPE (granularity)
+  std::uint64_t loop_splits = 0;      ///< offloads that used LLP (degree > 1)
+  double mean_loop_degree = 1.0;      ///< average SPEs per offloaded task
+  std::uint64_t ctx_switches = 0;     ///< PPE context switches
+  std::uint64_t code_loads = 0;       ///< SPE code DMAs (incl. variant swaps)
+  std::uint64_t events = 0;           ///< simulator events processed
+  /// Completion time (seconds) of each bootstrap, in workload order.
+  std::vector<double> bootstrap_completion_s;
+};
+
+}  // namespace cbe::rt

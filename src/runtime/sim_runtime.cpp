@@ -1,0 +1,449 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cellsim/machine.hpp"
+#include "cellsim/mfc.hpp"
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+
+namespace cbe::rt {
+
+namespace {
+
+class Driver {
+ public:
+  Driver(const task::Workload& wl, SchedulerPolicy& policy,
+         const RunConfig& cfg)
+      : wl_(wl), policy_(policy), cfg_(cfg),
+        machine_(eng_, cfg.cell, modules_),
+        loop_exec_(machine_, cfg.loop) {
+    for (auto& b : balancers_) b.set_adaptive(cfg.adaptive_balance);
+  }
+
+  RunResult run();
+
+ private:
+  struct Proc {
+    int pid = -1;
+    int cell = 0;
+    int ppe_pid = -1;
+    int bootstrap = -1;
+    std::size_t pc = 0;
+    bool finished = false;
+    int last_spe = -1;  ///< SPE affinity: reuse keeps code resident
+  };
+  // Granularity accounting (Section 5.2): the first few off-loads of each
+  // kernel class are profiled against the t_spe + t_code + 2 t_comm < t_ppe
+  // test using the intrinsic (uncontended) cost of each component, exactly
+  // the quantities the paper's formula names.  The class is demoted to PPE
+  // execution only if a majority fail, so one outlier task cannot throttle
+  // a whole class.  t_code counts only for the first execution, since the
+  // runtime pre-loads and keeps modules resident.
+  struct KernelStat {
+    static constexpr int kSamples = 5;
+    int measured = 0;
+    int failures = 0;
+    bool demoted = false;
+    bool evaluated() const { return measured >= kSamples; }
+  };
+
+  cell::Ppe& ppe(const Proc& p) { return machine_.ppe(p.cell); }
+  const task::Segment& segment(const Proc& p) const {
+    return wl_.bootstraps[static_cast<std::size_t>(p.bootstrap)]
+        .segments[p.pc];
+  }
+  double clock() const { return cfg_.cell.clock_ghz; }
+
+  RuntimeView view() const {
+    RuntimeView v;
+    v.total_spes = machine_.num_spes();
+    v.spes_per_cell = cfg_.cell.spes_per_cell;
+    v.idle_spes = machine_.count_idle_spes();
+    v.waiting_offloads = static_cast<int>(wait_queue_.size());
+    v.active_processes = active_processes_;
+    v.outstanding_tasks = outstanding_tasks_;
+    v.now = eng_.now();
+    return v;
+  }
+
+  void next_bootstrap(int pid);
+  void run_segment(int pid);
+  void dispatch(int pid);
+  void begin_offload(int pid, const std::vector<int>& idle, bool from_queue);
+  void on_task_done(int pid);
+  void after_ppe_task(int pid);
+  void resume(int pid);
+  void serve_wait_queue();
+  void prefer_affine_spe(const Proc& p, std::vector<int>& idle);
+  void arm_timer();
+
+  const task::Workload& wl_;
+  SchedulerPolicy& policy_;
+  RunConfig cfg_;
+  sim::Engine eng_;
+  task::ModuleRegistry modules_;
+  cell::CellMachine machine_;
+  LoopExecutor loop_exec_;
+  std::array<LoopBalancer, 4> balancers_;
+  std::array<KernelStat, 4> kstats_;
+
+  std::vector<Proc> procs_;
+  std::deque<int> bootstrap_queue_;
+  std::deque<int> wait_queue_;
+  int active_processes_ = 0;
+  int outstanding_tasks_ = 0;
+  sim::EventId timer_event_;
+  double degree_sum_ = 0.0;
+  RunResult res_;
+};
+
+RunResult Driver::run() {
+  const int b = static_cast<int>(wl_.size());
+  if (b == 0) return res_;
+  res_.bootstrap_completion_s.assign(static_cast<std::size_t>(b), 0.0);
+  for (int i = 0; i < b; ++i) bootstrap_queue_.push_back(i);
+
+  const int workers = std::max(
+      1, std::min(policy_.worker_count(b, machine_.num_spes()),
+                  b));
+  procs_.resize(static_cast<std::size_t>(workers));
+  active_processes_ = workers;
+  for (int pid = 0; pid < workers; ++pid) {
+    Proc& p = procs_[static_cast<std::size_t>(pid)];
+    p.pid = pid;
+    p.cell = pid % cfg_.cell.num_cells;
+    const int pin = policy_.pin_processes()
+                        ? (pid / cfg_.cell.num_cells) %
+                              cfg_.cell.contexts_per_ppe
+                        : -1;
+    p.ppe_pid = ppe(p).add_process(pin);
+  }
+  for (int pid = 0; pid < workers; ++pid) next_bootstrap(pid);
+  arm_timer();
+
+  eng_.run();
+
+  res_.makespan_s = eng_.now().to_seconds();
+  res_.mean_spe_utilization = machine_.mean_spe_utilization();
+  res_.mean_loop_degree =
+      res_.offloads > 0 ? degree_sum_ / static_cast<double>(res_.offloads)
+                        : 1.0;
+  for (int c = 0; c < machine_.num_cells(); ++c) {
+    res_.ctx_switches += machine_.ppe(c).context_switches();
+  }
+  for (int s = 0; s < machine_.num_spes(); ++s) {
+    res_.code_loads += machine_.spe(s).code_loads();
+  }
+  res_.events = eng_.events_processed();
+  return res_;
+}
+
+void Driver::arm_timer() {
+  if (cfg_.policy_timer == sim::Time()) return;
+  timer_event_ = eng_.schedule_after(cfg_.policy_timer, [this] {
+    policy_.on_timer(view());
+    arm_timer();
+  });
+}
+
+void Driver::next_bootstrap(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  if (bootstrap_queue_.empty()) {
+    p.finished = true;
+    --active_processes_;
+    if (active_processes_ == 0) eng_.cancel(timer_event_);
+    return;
+  }
+  p.bootstrap = bootstrap_queue_.front();
+  bootstrap_queue_.pop_front();
+  p.pc = 0;
+  ppe(p).request(p.ppe_pid, [this, pid] { run_segment(pid); });
+}
+
+void Driver::run_segment(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  const auto& trace =
+      wl_.bootstraps[static_cast<std::size_t>(p.bootstrap)];
+  if (p.pc >= trace.segments.size()) {
+    res_.bootstrap_completion_s[static_cast<std::size_t>(p.bootstrap)] =
+        eng_.now().to_seconds();
+    ppe(p).yield(p.ppe_pid);
+    next_bootstrap(pid);
+    return;
+  }
+  const double dispatch_cycles = cfg_.cell.dispatch_us * clock() * 1e3;
+  ppe(p).compute(p.ppe_pid,
+                 segment(p).ppe_burst_cycles + dispatch_cycles,
+                 [this, pid] { dispatch(pid); });
+}
+
+void Driver::dispatch(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  const task::TaskDesc& t = segment(p).task;
+  const auto kind = static_cast<std::size_t>(t.kind);
+
+  if (policy_.granularity_test() && kstats_[kind].demoted) {
+    // Task class failed the t_spe + t_code + 2 t_comm < t_ppe test; run the
+    // PPE version of the function instead (Section 5.2).
+    ++res_.ppe_fallbacks;
+    ppe(p).compute(p.ppe_pid, t.ppe_cycles,
+                   [this, pid] { after_ppe_task(pid); });
+    return;
+  }
+
+  std::vector<int> idle = machine_.idle_spes(p.cell);
+  if (idle.empty()) {
+    wait_queue_.push_back(pid);
+    if (policy_.yield_on_offload()) ppe(p).yield(p.ppe_pid);
+    // Spin-wait policies keep the context while queued.
+    return;
+  }
+  prefer_affine_spe(p, idle);
+  begin_offload(pid, idle, /*from_queue=*/false);
+}
+
+void Driver::begin_offload(int pid, const std::vector<int>& idle,
+                           bool from_queue) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  const task::TaskDesc& t = segment(p).task;
+  const auto kind = static_cast<std::size_t>(t.kind);
+
+  int d = policy_.loop_degree(view(), t);
+  if (!t.loop.parallelizable()) d = 1;
+  if (cfg_.ls_aware && t.loop.parallelizable()) {
+    // Memory-aware minimum degree (Section 6 future work): each SPE must
+    // hold its share of the task's working set next to the code image.
+    const auto& mod = modules_.get(t.module_id);
+    const double free_ls = static_cast<double>(
+        cfg_.cell.local_store_bytes -
+        std::max(mod.bytes, mod.parallel_bytes) -
+        cell::LocalStore::kMinStackHeap);
+    const double working_set = t.dma_in_bytes + t.dma_out_bytes;
+    if (free_ls > 0 && working_set > free_ls) {
+      const int min_degree = static_cast<int>(
+          std::ceil(working_set / free_ls));
+      d = std::max(d, min_degree);
+    }
+  }
+  d = std::min(d, static_cast<int>(t.loop.iterations == 0
+                                       ? 1u
+                                       : t.loop.iterations));
+
+  const int master = idle[0];
+  p.last_spe = master;
+  // Loop work-sharing stays within the master's Cell: the Pass protocol
+  // relies on local-EIB SPE-to-SPE puts (Section 5.3.1), and splitting a
+  // loop across the blade's Cells would stream chunks over the slow
+  // inter-Cell path.
+  std::vector<int> workers;
+  for (auto it = idle.begin() + 1;
+       it != idle.end() && static_cast<int>(workers.size()) < d - 1; ++it) {
+    if (machine_.spe(*it).cell() == machine_.spe(master).cell()) {
+      workers.push_back(*it);
+    }
+  }
+  d = static_cast<int>(workers.size()) + 1;
+  machine_.spe(master).reserve(eng_.now());
+  for (int w : workers) machine_.spe(w).reserve(eng_.now());
+  ++outstanding_tasks_;
+
+  policy_.on_offload(view(), pid);
+  ++res_.offloads;
+  degree_sum_ += d;
+  if (d > 1) ++res_.loop_splits;
+
+  KernelStat& ks = kstats_[kind];
+  if (policy_.granularity_test() && !ks.evaluated()) {
+    const sim::Time t_spe = sim::cycles_to_time(t.spe_cycles_total(), clock());
+    const sim::Time t_code =
+        ks.measured == 0 ? machine_.code_load_time(
+                               t.module_id, cell::ModuleVariant::Sequential)
+                         : sim::Time();
+    const sim::Time t_dma =
+        machine_.solo_dma_time(t.dma_in_bytes + t.dma_out_bytes, 2);
+    const sim::Time t_offload = t_spe + t_code + t_dma +
+                                2.0 * machine_.signal_latency(master);
+    const sim::Time t_ppe = sim::cycles_to_time(t.ppe_cycles, clock());
+    ks.measured += 1;
+    if (t_offload >= t_ppe) ks.failures += 1;
+    if (ks.evaluated() && ks.failures * 2 > ks.measured) {
+      ks.demoted = true;
+      CBE_LOG_INFO("granularity test demoted kernel %s (%d/%d samples slow)",
+                   task::kernel_name(t.kind), ks.failures, ks.measured);
+    }
+  }
+
+  // Loop-parallel execution needs the Parallel image; a sequential task can
+  // run on either image (the parallel variant contains the plain code paths
+  // too), so reuse whatever is resident and avoid reload thrash when the
+  // adaptive policy mixes degrees across kernel classes.
+  const auto variant =
+      d > 1 ? cell::ModuleVariant::Parallel
+            : (machine_.spe(master).has_module(t.module_id,
+                                               cell::ModuleVariant::Parallel)
+                   ? cell::ModuleVariant::Parallel
+                   : cell::ModuleVariant::Sequential);
+  const int chunks_in =
+      cfg_.dma_aggregated
+          ? cell::MfcRules::list_entries(
+                static_cast<std::size_t>(t.dma_in_bytes), cfg_.cell)
+          : cell::MfcRules::naive_chunks(
+                static_cast<std::size_t>(t.dma_in_bytes));
+  const int chunks_out =
+      cfg_.dma_aggregated
+          ? cell::MfcRules::list_entries(
+                static_cast<std::size_t>(t.dma_out_bytes), cfg_.cell)
+          : cell::MfcRules::naive_chunks(
+                static_cast<std::size_t>(t.dma_out_bytes));
+  const task::TaskDesc* tp = &t;  // workload outlives the run
+
+  auto after_compute = [this, pid, master, tp, chunks_out] {
+    machine_.dma(master, tp->dma_out_bytes, chunks_out,
+                 [this, pid, master] {
+      machine_.spe(master).release(eng_.now());
+      --outstanding_tasks_;
+      machine_.signal(master, [this, pid] { on_task_done(pid); });
+    });
+  };
+
+  machine_.signal(master, [this, master, tp, variant, chunks_in, d, pid,
+                           workers = std::move(workers), after_compute,
+                           kind]() mutable {
+    machine_.ensure_module(master, tp->module_id, variant,
+                           [this, master, tp, chunks_in, d,
+                            workers = std::move(workers), after_compute,
+                            kind]() mutable {
+      machine_.dma(master, tp->dma_in_bytes, chunks_in,
+                   [this, master, tp, d, workers = std::move(workers),
+                    after_compute, kind]() mutable {
+        if (d == 1) {
+          machine_.spe_compute(master, tp->spe_cycles_total(),
+                               after_compute);
+        } else {
+          loop_exec_.run(master, std::move(workers), *tp, balancers_[kind],
+                         after_compute);
+        }
+      });
+    });
+  });
+
+  if (!from_queue && policy_.yield_on_offload()) ppe(p).yield(p.ppe_pid);
+  // Spin-wait policies keep the context until on_task_done resumes them.
+}
+
+void Driver::on_task_done(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  policy_.on_departure(view(), pid);
+  serve_wait_queue();
+
+  p.pc += 1;
+  resume(pid);
+}
+
+void Driver::after_ppe_task(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  policy_.on_departure(view(), pid);
+  p.pc += 1;
+  // The process already holds its context; continue directly (with a
+  // quantum check for pinned spin policies).
+  if (!policy_.yield_on_offload() &&
+      ppe(p).quantum_expired(p.ppe_pid, cfg_.cell.linux_quantum)) {
+    ppe(p).yield(p.ppe_pid);
+    ppe(p).request(p.ppe_pid, [this, pid] { run_segment(pid); });
+    return;
+  }
+  run_segment(pid);
+}
+
+void Driver::resume(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  if (policy_.yield_on_offload()) {
+    ppe(p).request(p.ppe_pid, [this, pid] { run_segment(pid); });
+    return;
+  }
+  // Spin-wait model: the process held its context throughout the off-load.
+  // At this scheduling point the OS preempts it if its quantum expired and
+  // a sibling is runnable (Figure 2b's behaviour emerges from this).
+  if (ppe(p).quantum_expired(p.ppe_pid, cfg_.cell.linux_quantum)) {
+    ppe(p).yield(p.ppe_pid);
+    ppe(p).request(p.ppe_pid, [this, pid] { run_segment(pid); });
+    return;
+  }
+  run_segment(pid);
+}
+
+void Driver::serve_wait_queue() {
+  while (!wait_queue_.empty()) {
+    const int pid = wait_queue_.front();
+    Proc& p = procs_[static_cast<std::size_t>(pid)];
+    std::vector<int> idle = machine_.idle_spes(p.cell);
+    if (idle.empty()) break;
+    wait_queue_.pop_front();
+    prefer_affine_spe(p, idle);
+    begin_offload(pid, idle, /*from_queue=*/true);
+  }
+}
+
+void Driver::prefer_affine_spe(const Proc& p, std::vector<int>& idle) {
+  // Re-dispatching to the SPE a process used last keeps the code image
+  // resident and avoids stealing a sibling's SPE (the paper's runtime
+  // pre-loads annotated functions and leaves them on the SPEs).
+  if (p.last_spe < 0) return;
+  auto it = std::find(idle.begin(), idle.end(), p.last_spe);
+  if (it != idle.end() && it != idle.begin()) std::iter_swap(idle.begin(), it);
+}
+
+}  // namespace
+
+RunResult run_workload(const task::Workload& wl, SchedulerPolicy& policy,
+                       const RunConfig& cfg) {
+  Driver driver(wl, policy, cfg);
+  return driver.run();
+}
+
+RunResult run_cluster(const task::Workload& wl,
+                      const std::function<std::unique_ptr<SchedulerPolicy>()>&
+                          make_policy,
+                      int blades, const RunConfig& cfg) {
+  blades = std::max(blades, 1);
+  std::vector<task::Workload> shards(static_cast<std::size_t>(blades));
+  for (std::size_t i = 0; i < wl.bootstraps.size(); ++i) {
+    shards[i % static_cast<std::size_t>(blades)].bootstraps.push_back(
+        wl.bootstraps[i]);
+  }
+  RunResult total;
+  for (auto& shard : shards) {
+    if (shard.bootstraps.empty()) continue;
+    auto policy = make_policy();
+    const RunResult r = run_workload(shard, *policy, cfg);
+    total.makespan_s = std::max(total.makespan_s, r.makespan_s);
+    total.offloads += r.offloads;
+    total.ppe_fallbacks += r.ppe_fallbacks;
+    total.loop_splits += r.loop_splits;
+    total.ctx_switches += r.ctx_switches;
+    total.code_loads += r.code_loads;
+    total.events += r.events;
+    total.mean_spe_utilization += r.mean_spe_utilization;
+    total.mean_loop_degree += r.mean_loop_degree * static_cast<double>(
+        r.offloads);
+  }
+  const auto used = static_cast<double>(
+      std::count_if(shards.begin(), shards.end(),
+                    [](const task::Workload& s) {
+                      return !s.bootstraps.empty();
+                    }));
+  if (used > 0) total.mean_spe_utilization /= used;
+  if (total.offloads > 0) {
+    total.mean_loop_degree /= static_cast<double>(total.offloads);
+  }
+  return total;
+}
+
+}  // namespace cbe::rt

@@ -1,0 +1,55 @@
+// The trace-driven runtime driver: spawns the policy's worker processes on
+// the PPE model, serves bootstraps master-worker style, and executes every
+// off-load through the Cell machine model (signals, code loading, DMA,
+// compute, loop work-sharing).  Produces a RunResult with the makespan and
+// the scheduling metrics the paper discusses.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cellsim/params.hpp"
+#include "runtime/loop_executor.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/policy.hpp"
+#include "task/task.hpp"
+
+namespace cbe::rt {
+
+struct RunConfig {
+  cell::CellParams cell;
+  LoopParams loop;
+  /// Optimized code aggregates DMAs into lists; naive code issues one small
+  /// transfer per loop iteration (Section 5.1 optimization ladder).
+  bool dma_aggregated = true;
+  /// Feedback-guided master-share tuning in the loop executor (Section 5.3).
+  bool adaptive_balance = true;
+  /// Periodic policy re-evaluation ("timer interrupts" for applications that
+  /// do not off-load often enough to trigger adaptation; Section 5.4).
+  /// Zero disables the timer.
+  sim::Time policy_timer;
+  /// Memory-aware scheduling (the paper's Section 6 future work): when a
+  /// task's working set cannot fit one SPE's free local store, the driver
+  /// raises the loop-sharing degree until each SPE's chunk fits.  Large
+  /// multi-gene alignments (the paper's 51,089-nucleotide mammal data)
+  /// *require* LLP for this reason, independent of idle-SPE counts.
+  bool ls_aware = true;
+};
+
+/// Runs `wl` to completion under `policy`; deterministic for a given
+/// workload and configuration.
+RunResult run_workload(const task::Workload& wl, SchedulerPolicy& policy,
+                       const RunConfig& cfg = {});
+
+/// Section 5.5 scaling: distributes the workload's bootstraps round-robin
+/// over `blades` independent (dual-Cell by default) blades, runs each blade
+/// under a fresh policy from `make_policy`, and reports the slowest blade's
+/// makespan plus aggregated counters.  Reproduces the paper's argument that
+/// spreading 100 bootstraps over >= 4 blades brings each blade back into
+/// the regime where multigrain (MGPS) scheduling pays off.
+RunResult run_cluster(const task::Workload& wl,
+                      const std::function<std::unique_ptr<SchedulerPolicy>()>&
+                          make_policy,
+                      int blades, const RunConfig& cfg = {});
+
+}  // namespace cbe::rt

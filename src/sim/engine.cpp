@@ -1,0 +1,81 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace cbe::sim {
+
+std::uint32_t Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+EventId Engine::schedule_at(Time t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.live = true;
+  ++live_;
+  heap_.push(HeapEntry{t, seq_++, slot, s.generation});
+  return EventId{slot, s.generation};
+}
+
+EventId Engine::schedule_after(Time dt, Callback cb) {
+  if (dt < Time()) dt = Time();
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+void Engine::cancel(EventId id) noexcept {
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.live && s.generation == id.generation) {
+    s.live = false;
+    s.cb = nullptr;
+    ++s.generation;
+    free_slots_.push_back(id.slot);
+    --live_;
+    // The heap entry stays; pops skip it via the generation check.
+  }
+}
+
+bool Engine::pending(EventId id) const noexcept {
+  return id.valid() && id.slot < slots_.size() &&
+         slots_[id.slot].live && slots_[id.slot].generation == id.generation;
+}
+
+Time Engine::run() { return run_until(Time::max()); }
+
+Time Engine::run_until(Time limit) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    Slot& s = slots_[top.slot];
+    if (!s.live || s.generation != top.generation) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    if (top.t > limit) break;
+    heap_.pop();
+    assert(top.t >= now_);
+    now_ = top.t;
+    Callback cb = std::move(s.cb);
+    s.cb = nullptr;
+    s.live = false;
+    ++s.generation;
+    free_slots_.push_back(top.slot);
+    --live_;
+    ++processed_;
+    cb();
+  }
+  return now_;
+}
+
+}  // namespace cbe::sim

@@ -1,0 +1,46 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cbe::sim {
+
+void FifoResource::account() {
+  const Time now = eng_.now();
+  busy_acc_ += (now - last_change_) * static_cast<double>(in_service_);
+  last_change_ = now;
+}
+
+void FifoResource::start(OnStart job) {
+  account();
+  ++in_service_;
+  job();
+}
+
+void FifoResource::acquire(OnStart on_start) {
+  if (in_service_ < capacity_) {
+    start(std::move(on_start));
+  } else {
+    queue_.push_back(std::move(on_start));
+  }
+}
+
+void FifoResource::release() {
+  if (in_service_ == 0) {
+    throw std::logic_error("FifoResource::release without acquire");
+  }
+  account();
+  --in_service_;
+  if (!queue_.empty()) {
+    OnStart next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+}
+
+Time FifoResource::busy_time() const noexcept {
+  return busy_acc_ +
+         (eng_.now() - last_change_) * static_cast<double>(in_service_);
+}
+
+}  // namespace cbe::sim

@@ -1,0 +1,50 @@
+// Generic FIFO multi-server resource for discrete-event models: `capacity`
+// jobs may be in service at once; excess requests queue in arrival order.
+// Used by the comparison-platform models (CPU contexts) and available for
+// any substrate that behaves like an M-server queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace cbe::sim {
+
+class FifoResource {
+ public:
+  /// `on_start` fires when the job enters service; the job must later call
+  /// release() exactly once when its service completes.
+  using OnStart = std::function<void()>;
+
+  FifoResource(Engine& eng, std::size_t capacity)
+      : eng_(eng), capacity_(capacity) {}
+
+  /// Requests a server; `on_start` runs immediately (same timestamp) if one
+  /// is free, otherwise when a server is released to this job.
+  void acquire(OnStart on_start);
+
+  /// Releases one server; the head queued job (if any) starts at now().
+  void release();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_service() const noexcept { return in_service_; }
+  std::size_t queued() const noexcept { return queue_.size(); }
+
+  /// Total busy server-time accumulated (for utilization metrics).
+  Time busy_time() const noexcept;
+
+ private:
+  void start(OnStart job);
+  void account();
+
+  Engine& eng_;
+  std::size_t capacity_;
+  std::size_t in_service_ = 0;
+  std::deque<OnStart> queue_;
+  Time busy_acc_;
+  Time last_change_;
+};
+
+}  // namespace cbe::sim

@@ -1,0 +1,10 @@
+#include "spu/counters.hpp"
+
+namespace cbe::spu {
+
+OpTally& tally() noexcept {
+  thread_local OpTally t;
+  return t;
+}
+
+}  // namespace cbe::spu

@@ -1,0 +1,73 @@
+#include "spu/mathlib.hpp"
+
+#include <cmath>
+
+namespace cbe::spu {
+
+namespace {
+// ln2 split into a high part exactly representable in ~32 bits and the
+// remainder, so n*ln2 subtracts exactly (Cody-Waite argument reduction).
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kInvLn2 = 1.44269504088896338700e+00;
+}  // namespace
+
+double fast_exp(double x) noexcept {
+  if (x != x) return x;
+  if (x > 709.0) return HUGE_VAL;
+  if (x < -745.0) return 0.0;
+
+  const double nd = std::nearbyint(x * kInvLn2);
+  const auto n = static_cast<int>(nd);
+  const double r = (x - nd * kLn2Hi) - nd * kLn2Lo;
+
+  // Degree-9 Taylor polynomial of exp(r), |r| <= ln2/2; Horner form.
+  const double p = 1.0 +
+      r * (1.0 +
+      r * (0.5 +
+      r * (1.0 / 6.0 +
+      r * (1.0 / 24.0 +
+      r * (1.0 / 120.0 +
+      r * (1.0 / 720.0 +
+      r * (1.0 / 5040.0 +
+      r * (1.0 / 40320.0 +
+      r * (1.0 / 362880.0)))))))));
+  return std::ldexp(p, n);
+}
+
+double fast_log(double x) noexcept {
+  if (x != x) return x;
+  if (x < 0.0) return NAN;
+  if (x == 0.0) return -HUGE_VAL;
+  if (std::isinf(x)) return x;
+
+  int e = 0;
+  double m = std::frexp(x, &e);  // m in [0.5, 1)
+  // Center m around 1 so |t| stays small: m in [sqrt(0.5), sqrt(2)).
+  if (m < 0.70710678118654752440) {
+    m *= 2.0;
+    e -= 1;
+  }
+  const double t = (m - 1.0) / (m + 1.0);
+  const double t2 = t * t;
+  // 2*atanh(t) = 2t (1 + t^2/3 + t^4/5 + ... ), |t| <= 0.1716.
+  const double s = 1.0 +
+      t2 * (1.0 / 3.0 +
+      t2 * (1.0 / 5.0 +
+      t2 * (1.0 / 7.0 +
+      t2 * (1.0 / 9.0 +
+      t2 * (1.0 / 11.0 +
+      t2 * (1.0 / 13.0))))));
+  const double ed = static_cast<double>(e);
+  return ed * kLn2Hi + (ed * kLn2Lo + 2.0 * t * s);
+}
+
+double2 fast_exp(double2 x) noexcept {
+  return {{fast_exp(x.v[0]), fast_exp(x.v[1])}};
+}
+
+double2 fast_log(double2 x) noexcept {
+  return {{fast_log(x.v[0]), fast_log(x.v[1])}};
+}
+
+}  // namespace cbe::spu

@@ -1,0 +1,23 @@
+// Numerical approximations of exp/log in the style of the Cell SDK simdmath
+// library, which RAxML's SPE port substituted for libm (Section 5.1 of the
+// paper: "replaced the original mathematical functions with numerical
+// approximations ... from the Cell SDK library").
+//
+// fast_exp: exponent reconstruction + degree-6 polynomial on the reduced
+//           argument (|r| <= ln2/2), relative error < 3e-9 over [-700, 700].
+// fast_log: mantissa/exponent split + atanh-series polynomial,
+//           relative error < 2e-9 for normal positive doubles.
+#pragma once
+
+#include "spu/vec.hpp"
+
+namespace cbe::spu {
+
+double fast_exp(double x) noexcept;
+double fast_log(double x) noexcept;
+
+/// Two-lane versions matching the SPU vector call style.
+double2 fast_exp(double2 x) noexcept;
+double2 fast_log(double2 x) noexcept;
+
+}  // namespace cbe::spu

@@ -1,0 +1,28 @@
+#include "spu/pipeline.hpp"
+
+namespace cbe::spu {
+
+double spu_cycles(const OpCounts& ops, OptFlags flags,
+                  const SpuCostParams& p) noexcept {
+  const double fp_cost = flags.vectorized ? p.dp_vec : p.dp_scalar;
+  const double div_cost = flags.vectorized ? p.div_vec : p.div_scalar;
+  const double mem_cost = flags.vectorized ? p.mem_vec : p.mem_scalar;
+  const double branch_cost =
+      flags.branch_free ? p.branch_select : p.branch_naive;
+  const double exp_cost = flags.fast_math ? p.exp_fast : p.exp_libm;
+  const double log_cost = flags.fast_math ? p.log_fast : p.log_libm;
+
+  return (ops.fp_mul + ops.fp_add) * fp_cost + ops.fp_div * div_cost +
+         ops.exp_calls * exp_cost + ops.log_calls * log_cost +
+         (ops.loads + ops.stores) * mem_cost + ops.int_ops * p.int_op +
+         ops.branches * branch_cost;
+}
+
+double ppe_cycles(const OpCounts& ops, const PpeCostParams& p) noexcept {
+  return (ops.fp_mul + ops.fp_add) * p.fp + ops.fp_div * p.div +
+         (ops.exp_calls + ops.log_calls) * p.exp_log +
+         (ops.loads + ops.stores) * p.mem + ops.int_ops * p.int_op +
+         ops.branches * p.branch;
+}
+
+}  // namespace cbe::spu

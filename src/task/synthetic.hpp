@@ -1,0 +1,52 @@
+// Synthetic workload generator calibrated to the paper's published RAxML
+// statistics for the 42_SC input, used by the table/figure benches so the
+// scheduler experiments run against exactly the task-stream shape the paper
+// reports:
+//   - average off-loaded task duration 96 us on an SPE (Section 5.2),
+//   - average PPE burst between consecutive off-loads 11 us,
+//   - ~90 % of one bootstrap spent in off-loaded kernels,
+//   - kernel time split newview 76.8 % / makenewz 19.6 % / evaluate 2.4 %
+//     (Section 5.1 gprof profile),
+//   - each kernel encloses one parallelizable loop of 228 iterations
+//     (the 42_SC pattern count, Section 5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "task/task.hpp"
+
+namespace cbe::task {
+
+struct SyntheticConfig {
+  /// Off-loads per bootstrap.  The paper's real count at 96 us/task is
+  /// ~267,000 (28.46 s x 90 % / 96 us); the default is scaled down so bench
+  /// sweeps finish quickly.  Scheduler *ratios* are granularity-driven and
+  /// unaffected; pass --tasks to benches for full fidelity.
+  int tasks_per_bootstrap = 1000;
+  double mean_spe_task_us = 96.0;
+  double mean_ppe_burst_us = 11.0;
+  double duration_cv = 0.30;       ///< lognormal jitter on task durations
+  double loop_fraction = 0.90;     ///< share of SPE cycles inside the loop
+  std::uint32_t loop_iterations = 228;
+  double ppe_over_spe = 1.35;      ///< PPE-fallback slowdown vs optimized SPE
+  /// Conditional-likelihood vectors streamed per call: 228 patterns x 4
+  /// rate categories x 4 states x 8 bytes is ~29 KB per vector; newview
+  /// reads two and writes one.
+  double dma_in_bytes = 64.0 * 1024.0;
+  double dma_out_bytes = 32.0 * 1024.0;
+  double reduction_cycles = 220.0; ///< master merge cost per worker (evaluate
+                                   ///< and makenewz carry global reductions)
+  double clock_ghz = 3.2;
+  std::uint64_t seed = 42;
+};
+
+/// Generates `bootstraps` independent process traces.  Each bootstrap gets a
+/// per-process RNG stream derived from the seed, so workloads are identical
+/// across scheduler runs (paired comparisons) yet internally jittered.
+Workload make_synthetic(int bootstraps, const SyntheticConfig& cfg = {});
+
+/// Expected single-SPE execution time of one synthetic bootstrap in seconds
+/// (PPE bursts + SPE tasks, no overheads); used by tests as a sanity anchor.
+double expected_bootstrap_seconds(const SyntheticConfig& cfg);
+
+}  // namespace cbe::task

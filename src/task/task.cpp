@@ -1,0 +1,46 @@
+#include "task/task.hpp"
+
+#include <stdexcept>
+
+namespace cbe::task {
+
+const char* kernel_name(KernelClass k) noexcept {
+  switch (k) {
+    case KernelClass::Newview: return "newview";
+    case KernelClass::Evaluate: return "evaluate";
+    case KernelClass::Makenewz: return "makenewz";
+    default: return "generic";
+  }
+}
+
+double ProcessTrace::total_spe_cycles() const noexcept {
+  double s = 0.0;
+  for (const auto& seg : segments) s += seg.task.spe_cycles_total();
+  return s;
+}
+
+double ProcessTrace::total_ppe_cycles() const noexcept {
+  double s = 0.0;
+  for (const auto& seg : segments) s += seg.ppe_burst_cycles;
+  return s;
+}
+
+ModuleRegistry::ModuleRegistry() {
+  // Paper, Section 5.1: the three ML functions merged into one module of
+  // 117 KB; the variant with parallelized loops is a few KB larger.
+  modules_.push_back({"raxml_kernels", 117 * 1024, 123 * 1024});
+}
+
+std::uint16_t ModuleRegistry::add(CodeModule m) {
+  modules_.push_back(std::move(m));
+  return static_cast<std::uint16_t>(modules_.size() - 1);
+}
+
+const ModuleRegistry::CodeModule& ModuleRegistry::get(std::uint16_t id) const {
+  if (id >= modules_.size()) {
+    throw std::out_of_range("ModuleRegistry: bad module id");
+  }
+  return modules_[id];
+}
+
+}  // namespace cbe::task

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cbe::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (arg.rfind("no-", 0) == 0) {
+      flags_[arg.substr(3)] = "false";
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : flags_) {
+    (void)v;
+    if (!queried_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace cbe::util

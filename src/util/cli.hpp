@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for bench/example binaries.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cbe::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried; used to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cbe::util

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace cbe::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace cbe::util

@@ -1,0 +1,31 @@
+// Leveled logging.  The simulator logs scheduling decisions at Debug level;
+// benches run at Warn so output stays clean.  Not thread-safe by design: the
+// simulator is single-threaded and the native runtime logs only from the
+// submitting thread.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace cbe::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}
+
+#define CBE_LOG_DEBUG(...) \
+  ::cbe::util::detail::vlog(::cbe::util::LogLevel::Debug, __VA_ARGS__)
+#define CBE_LOG_INFO(...) \
+  ::cbe::util::detail::vlog(::cbe::util::LogLevel::Info, __VA_ARGS__)
+#define CBE_LOG_WARN(...) \
+  ::cbe::util::detail::vlog(::cbe::util::LogLevel::Warn, __VA_ARGS__)
+#define CBE_LOG_ERROR(...) \
+  ::cbe::util::detail::vlog(::cbe::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace cbe::util

@@ -1,0 +1,128 @@
+#include "cellsim/mfc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cbe::cell {
+namespace {
+
+const CellParams kParams;
+
+TEST(MfcRules, ValidSizesMatchArchitecture) {
+  // 1, 2, 4, 8 bytes or multiples of 16, capped at 16 KB (Section 4).
+  for (std::size_t s : {1u, 2u, 4u, 8u, 16u, 32u, 4096u, 16384u}) {
+    EXPECT_TRUE(MfcRules::valid_size(s, kParams)) << s;
+  }
+  for (std::size_t s : {0u, 3u, 5u, 7u, 9u, 12u, 17u, 100u, 16400u}) {
+    EXPECT_FALSE(MfcRules::valid_size(s, kParams)) << s;
+  }
+}
+
+TEST(MfcRules, AlignmentQuadword) {
+  EXPECT_TRUE(MfcRules::valid_alignment(0, 16, 64));
+  EXPECT_TRUE(MfcRules::valid_alignment(128, 256, 16));
+  EXPECT_FALSE(MfcRules::valid_alignment(8, 16, 64));
+  EXPECT_FALSE(MfcRules::valid_alignment(16, 8, 64));
+}
+
+TEST(MfcRules, SubQuadwordNaturalAlignment) {
+  EXPECT_TRUE(MfcRules::valid_alignment(4, 4, 4));
+  EXPECT_TRUE(MfcRules::valid_alignment(20, 4, 4));   // congruent mod 16
+  EXPECT_FALSE(MfcRules::valid_alignment(4, 8, 4));   // not congruent
+  EXPECT_FALSE(MfcRules::valid_alignment(2, 2, 4));   // not naturally aligned
+  EXPECT_TRUE(MfcRules::valid_alignment(8, 8, 8));
+}
+
+TEST(MfcRules, ListEntriesCeil) {
+  EXPECT_EQ(MfcRules::list_entries(0, kParams), 0);
+  EXPECT_EQ(MfcRules::list_entries(1, kParams), 1);
+  EXPECT_EQ(MfcRules::list_entries(16 * 1024, kParams), 1);
+  EXPECT_EQ(MfcRules::list_entries(16 * 1024 + 1, kParams), 2);
+  EXPECT_EQ(MfcRules::list_entries(160 * 1024, kParams), 10);
+}
+
+TEST(MfcRules, OneListLimit) {
+  // 2048 entries x 16 KB = 32 MB.
+  EXPECT_TRUE(MfcRules::fits_one_list(32ull * 1024 * 1024, kParams));
+  EXPECT_FALSE(MfcRules::fits_one_list(32ull * 1024 * 1024 + 1, kParams));
+}
+
+TEST(MfcRules, NaiveChunksAreSmall) {
+  EXPECT_EQ(MfcRules::naive_chunks(0), 0);
+  EXPECT_EQ(MfcRules::naive_chunks(1), 1);
+  EXPECT_EQ(MfcRules::naive_chunks(2048), 1);
+  EXPECT_EQ(MfcRules::naive_chunks(2049), 2);
+  EXPECT_GT(MfcRules::naive_chunks(64 * 1024),
+            MfcRules::list_entries(64 * 1024, kParams));
+}
+
+TEST(Mfc, ZeroBytesIsFree) {
+  Mfc mfc(kParams);
+  EXPECT_EQ(mfc.transfer_time(0.0, 1, 1, false), sim::Time());
+}
+
+TEST(Mfc, TimeGrowsWithBytes) {
+  Mfc mfc(kParams);
+  const auto t1 = mfc.transfer_time(16 * 1024, 1, 1, false);
+  const auto t2 = mfc.transfer_time(64 * 1024, 4, 1, false);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Mfc, SetupCostPerChunk) {
+  Mfc mfc(kParams);
+  const auto aggregated = mfc.transfer_time(32 * 1024, 2, 1, false);
+  const auto naive = mfc.transfer_time(32 * 1024, 16, 1, false);
+  EXPECT_EQ((naive - aggregated).nanoseconds(),
+            14 * kParams.dma_setup.nanoseconds());
+}
+
+TEST(Mfc, CongestionDividesBandwidth) {
+  Mfc mfc(kParams);
+  const auto solo = mfc.transfer_time(64 * 1024, 4, 1, false);
+  const auto shared8 = mfc.transfer_time(64 * 1024, 4, 8, false);
+  EXPECT_GT(shared8, solo);
+  // With 8 clients the share (19/8 GB/s) is below the per-SPE cap, so wire
+  // time scales ~8x (setup unchanged).
+  const double wire_solo =
+      static_cast<double>(solo.nanoseconds()) -
+      4.0 * static_cast<double>(kParams.dma_setup.nanoseconds());
+  const double wire_shared =
+      static_cast<double>(shared8.nanoseconds()) -
+      4.0 * static_cast<double>(kParams.dma_setup.nanoseconds());
+  // Memory bandwidth (19 GB/s) binds both solo and shared (the per-SPE cap
+  // of 25.6 GB/s never engages), so wire time scales exactly with clients.
+  EXPECT_NEAR(wire_shared / wire_solo, 8.0, 0.1);
+}
+
+TEST(Mfc, PerSpeCapBindsWhenUncongested) {
+  Mfc mfc(kParams);
+  // At congestion 1 the min(spe_cap, mem) = 19 vs spe 25.6: mem binds since
+  // mem_gbps < spe_dma_gbps in the default calibration.
+  const auto t = mfc.transfer_time(19.0 * 1000.0, 1, 1, false);
+  const double wire =
+      static_cast<double>(t.nanoseconds()) -
+      static_cast<double>(kParams.dma_setup.nanoseconds());
+  EXPECT_NEAR(wire, 1000.0, 2.0);
+}
+
+TEST(Mfc, CrossCellPenalty) {
+  Mfc mfc(kParams);
+  const auto local = mfc.transfer_time(16 * 1024, 1, 1, false);
+  const auto remote = mfc.transfer_time(16 * 1024, 1, 1, true);
+  EXPECT_NEAR(static_cast<double>(remote.nanoseconds()) /
+                  static_cast<double>(local.nanoseconds()),
+              kParams.cross_cell_factor, 0.01);
+}
+
+class MfcSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MfcSizeSweep, Multiple16AlwaysValidUpTo16K) {
+  const std::size_t s = GetParam() * 16;
+  EXPECT_EQ(MfcRules::valid_size(s, kParams), s > 0 && s <= 16384);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MfcSizeSweep,
+                         ::testing::Values(0u, 1u, 2u, 64u, 512u, 1024u,
+                                           1025u, 4096u));
+
+}  // namespace
+}  // namespace cbe::cell

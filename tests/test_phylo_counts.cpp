@@ -1,0 +1,100 @@
+// Pins the operation-count formulas (which drive all simulated task costs)
+// to the actual kernel code by running the kernels on Counting<double> and
+// comparing the tallies.
+#include <gtest/gtest.h>
+
+#include "phylo/kernels.hpp"
+
+namespace cbe::phylo {
+namespace {
+
+using Real = spu::Counting<double>;
+
+struct CountsTest : ::testing::Test {
+  CountsTest()
+      : alignment(Alignment::parse_phylip(
+            "3 10\nx ACGTACGTAC\ny ACGTCCTTAC\nz ACGAACTGGT\n")),
+        pa(alignment),
+        model(GtrParams::hky(2.0, {0.3, 0.2, 0.2, 0.3}), 0.7) {
+    init_tip_clv(pa, 0, tip0);
+    init_tip_clv(pa, 1, tip1);
+  }
+
+  Alignment alignment;
+  PatternAlignment pa;
+  SubstModel model;
+  Clv<Real> tip0, tip1;
+};
+
+TEST_F(CountsTest, NewviewFormulaMatchesCode) {
+  const BranchP p1 = BranchP::at(model, 0.1);
+  const BranchP p2 = BranchP::at(model, 0.2);
+  Clv<Real> out;
+  spu::tally().reset();
+  newview(tip0, p1, tip1, p2, out);
+  const auto& t = spu::tally();
+  const auto want = newview_ops(pa.patterns(), kRateCategories);
+  EXPECT_EQ(t.mul, static_cast<long long>(want.fp_mul));
+  EXPECT_EQ(t.add, static_cast<long long>(want.fp_add));
+  // Branch count = comparisons (scale checks); formula adds one per-pattern
+  // control branch on top of the per-entry checks.
+  EXPECT_EQ(t.cmp + pa.patterns(), static_cast<long long>(want.branches));
+  EXPECT_EQ(t.div, 0);
+  EXPECT_EQ(t.exp_c, 0);
+  EXPECT_EQ(t.log_c, 0);
+}
+
+TEST_F(CountsTest, EvaluateFormulaMatchesCode) {
+  const BranchP p = BranchP::at(model, 0.15);
+  spu::tally().reset();
+  (void)evaluate(tip0, tip1, p, model, pa.weights());
+  const auto& t = spu::tally();
+  const auto want = evaluate_ops(pa.patterns(), kRateCategories);
+  EXPECT_EQ(t.mul, static_cast<long long>(want.fp_mul));
+  EXPECT_EQ(t.add, static_cast<long long>(want.fp_add));
+  EXPECT_EQ(t.log_c, static_cast<long long>(want.log_calls));
+  EXPECT_EQ(t.exp_c, 0);
+}
+
+TEST_F(CountsTest, SumtableFormulaMatchesCode) {
+  std::vector<Real> sumtable;
+  spu::tally().reset();
+  make_sumtable(tip0, tip1, model, sumtable);
+  const auto& t = spu::tally();
+  const auto want = sumtable_ops(pa.patterns(), kRateCategories);
+  EXPECT_EQ(t.mul, static_cast<long long>(want.fp_mul));
+  EXPECT_EQ(t.add, static_cast<long long>(want.fp_add));
+}
+
+TEST_F(CountsTest, CountsScaleLinearlyWithPatterns) {
+  const auto a = newview_ops(100, 4);
+  const auto b = newview_ops(200, 4);
+  EXPECT_DOUBLE_EQ(b.fp_mul, 2.0 * a.fp_mul);
+  EXPECT_DOUBLE_EQ(b.branches, 2.0 * a.branches);
+}
+
+TEST_F(CountsTest, MakenewzAddsNewtonIterations) {
+  const auto base = makenewz_ops(100, 4, 1);
+  const auto more = makenewz_ops(100, 4, 5);
+  EXPECT_GT(more.exp_calls, base.exp_calls);
+  EXPECT_GT(more.fp_mul, base.fp_mul);
+  EXPECT_NEAR(more.exp_calls, 5.0 * base.exp_calls, 1e-9);
+}
+
+TEST_F(CountsTest, CountingProducesSameNumbersAsDouble) {
+  // The Counting wrapper must not change the arithmetic.
+  Clv<double> dtip0, dtip1, dout;
+  init_tip_clv(pa, 0, dtip0);
+  init_tip_clv(pa, 1, dtip1);
+  const BranchP p1 = BranchP::at(model, 0.1);
+  const BranchP p2 = BranchP::at(model, 0.2);
+  newview(dtip0, p1, dtip1, p2, dout);
+  Clv<Real> cout_;
+  newview(tip0, p1, tip1, p2, cout_);
+  for (std::size_t i = 0; i < dout.data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dout.data[i], cout_.data[i].v);
+  }
+}
+
+}  // namespace
+}  // namespace cbe::phylo

@@ -1,0 +1,187 @@
+#include "phylo/likelihood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phylo/search.hpp"
+
+namespace cbe::phylo {
+namespace {
+
+SyntheticAlignmentConfig small_cfg() {
+  SyntheticAlignmentConfig c;
+  c.taxa = 10;
+  c.sites = 300;
+  c.mean_branch_length = 0.03;
+  return c;
+}
+
+struct EngineTest : ::testing::Test {
+  EngineTest()
+      : alignment(make_synthetic_alignment(small_cfg())),
+        pa(alignment),
+        model(GtrParams::hky(2.5, pa.base_frequencies()), 0.8),
+        engine(pa, model) {}
+
+  Alignment alignment;
+  PatternAlignment pa;
+  SubstModel model;
+  LikelihoodEngine engine;
+};
+
+TEST_F(EngineTest, LoglikInvariantUnderRootEdge) {
+  util::Rng rng(1);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double ref = engine.loglik(0);
+  for (int e = 1; e < t.edge_count(); ++e) {
+    EXPECT_NEAR(engine.loglik(e), ref, 1e-8 * std::fabs(ref)) << "edge " << e;
+  }
+}
+
+TEST_F(EngineTest, LoglikIsNegativeAndFinite) {
+  util::Rng rng(2);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double l = engine.loglik();
+  EXPECT_LT(l, 0.0);
+  EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST_F(EngineTest, CachedRecomputationIsConsistent) {
+  util::Rng rng(3);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double a = engine.loglik(4);
+  const double b = engine.loglik(4);  // cached path
+  EXPECT_DOUBLE_EQ(a, b);
+  const std::uint64_t calls = engine.kernel_calls();
+  (void)engine.loglik(4);
+  // Only the evaluate (no newviews) should be added on a warm cache.
+  EXPECT_EQ(engine.kernel_calls(), calls + 1);
+}
+
+TEST_F(EngineTest, SyncDetectsTopologyChange) {
+  util::Rng rng(4);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double before = engine.loglik();
+  t.nni(t.internal_edges().front(), 0);
+  const double after = engine.loglik();  // must auto-resync, not reuse CLVs
+  EXPECT_NE(before, after);
+  // And the recomputed value matches a fresh engine.
+  LikelihoodEngine fresh(pa, model);
+  fresh.attach(t);
+  EXPECT_NEAR(after, fresh.loglik(), 1e-9 * std::fabs(after));
+}
+
+TEST_F(EngineTest, OptimizeBranchImprovesLoglik) {
+  util::Rng rng(5);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double before = engine.loglik(3);
+  const double after = engine.optimize_branch(t, 3);
+  EXPECT_GE(after, before - 1e-9);
+  // Reported value matches a from-scratch evaluation.
+  LikelihoodEngine fresh(pa, model);
+  fresh.attach(t);
+  EXPECT_NEAR(fresh.loglik(3), after, 1e-7 * std::fabs(after));
+}
+
+TEST_F(EngineTest, OptimizeAllBranchesMonotoneOverRounds) {
+  util::Rng rng(6);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  const double l0 = engine.loglik();
+  const double l1 = engine.optimize_all_branches(t, 1);
+  const double l2 = engine.optimize_all_branches(t, 1);
+  EXPECT_GE(l1, l0 - 1e-9);
+  EXPECT_GE(l2, l1 - 1e-6 * std::fabs(l1));
+}
+
+TEST_F(EngineTest, InsertionScorePredictsActualInsertion) {
+  util::Rng rng(7);
+  // Build a tree over taxa 0..8, leaving taxon 9 out.
+  std::vector<int> order;
+  Tree t(10, 0, 1, 2);
+  for (int leaf = 3; leaf < 9; ++leaf) {
+    t.insert_leaf(leaf, static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(t.edge_count()))));
+  }
+  engine.attach(t);
+  for (int e = 0; e < t.edge_count(); e += 3) {
+    const double predicted = engine.insertion_score(9, e, 0.1);
+    Tree copy = t;
+    copy.insert_leaf(9, e, 0.1);
+    LikelihoodEngine fresh(pa, model);
+    fresh.attach(copy);
+    const double actual = fresh.loglik();
+    EXPECT_NEAR(predicted, actual, 1e-6 * std::fabs(actual)) << "edge " << e;
+  }
+}
+
+TEST_F(EngineTest, NniScorePredictsActualSwap) {
+  util::Rng rng(8);
+  Tree t = Tree::random(10, rng);
+  engine.attach(t);
+  for (int e : t.internal_edges()) {
+    for (int v = 0; v < 2; ++v) {
+      const double predicted = engine.nni_score(e, v);
+      Tree copy = t;
+      copy.nni(e, v);
+      LikelihoodEngine fresh(pa, model);
+      fresh.attach(copy);
+      const double actual = fresh.loglik(e);
+      EXPECT_NEAR(predicted, actual, 1e-7 * std::fabs(actual))
+          << "edge " << e << " variant " << v;
+    }
+  }
+}
+
+TEST_F(EngineTest, ObserverSeesEveryKernel) {
+  struct Counter : KernelObserver {
+    int newviews = 0, evaluates = 0, makenewzs = 0;
+    void on_kernel(task::KernelClass kind, int, int) override {
+      if (kind == task::KernelClass::Newview) ++newviews;
+      if (kind == task::KernelClass::Evaluate) ++evaluates;
+      if (kind == task::KernelClass::Makenewz) ++makenewzs;
+    }
+  } counter;
+  LikelihoodEngine observed(pa, model, &counter);
+  util::Rng rng(9);
+  Tree t = Tree::random(10, rng);
+  observed.attach(t);
+  (void)observed.loglik();
+  EXPECT_EQ(counter.evaluates, 1);
+  // n-2 = 8 internal nodes, two directed CLVs... at least n-2 newviews to
+  // evaluate one edge.
+  EXPECT_GE(counter.newviews, 8);
+  observed.optimize_branch(t, 0);
+  EXPECT_EQ(counter.makenewzs, 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(counter.newviews +
+                                       counter.evaluates +
+                                       counter.makenewzs),
+            observed.kernel_calls());
+}
+
+TEST_F(EngineTest, GapOnlyTaxonIsHarmless) {
+  // A taxon of all gaps contributes no information; likelihood stays finite.
+  std::string text = "4 6\na ACGTAC\nb ACGTCC\nc AGGTAC\nd ------\n";
+  Alignment al = Alignment::parse_phylip(text);
+  PatternAlignment p2(al);
+  SubstModel m2(GtrParams::hky(2.0, {0.25, 0.25, 0.25, 0.25}), 1.0);
+  LikelihoodEngine eng(p2, m2);
+  util::Rng rng(10);
+  Tree t = Tree::random(4, rng);
+  eng.attach(t);
+  EXPECT_TRUE(std::isfinite(eng.loglik()));
+}
+
+TEST_F(EngineTest, ThrowsWithoutAttachedTree) {
+  LikelihoodEngine eng(pa, model);
+  EXPECT_THROW(eng.loglik(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cbe::phylo

@@ -1,0 +1,257 @@
+#include "phylo/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cbe::phylo {
+namespace {
+
+TEST(RegGammaP, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(reg_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(reg_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(RegGammaP, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(reg_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(reg_gamma_p(2.0, 1000.0), 1.0, 1e-12);
+  EXPECT_THROW(reg_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(reg_gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RegGammaP, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x < 20.0; x += 0.25) {
+    const double p = reg_gamma_p(2.5, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaQuantile, InvertsCdf) {
+  for (double a : {0.3, 0.5, 1.0, 2.0, 10.0}) {
+    for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      const double x = gamma_quantile(a, p);
+      EXPECT_NEAR(reg_gamma_p(a, x), p, 1e-9)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaQuantile, Extremes) {
+  EXPECT_DOUBLE_EQ(gamma_quantile(1.0, 0.0), 0.0);
+  EXPECT_THROW(gamma_quantile(1.0, 1.0), std::invalid_argument);
+  // Exponential: median = ln 2.
+  EXPECT_NEAR(gamma_quantile(1.0, 0.5), std::log(2.0), 1e-10);
+}
+
+TEST(DiscreteGamma, UnitMean) {
+  for (double alpha : {0.1, 0.5, 1.0, 2.0, 50.0}) {
+    const auto r = discrete_gamma_rates(alpha);
+    double mean = 0.0;
+    for (double x : r) mean += x;
+    EXPECT_NEAR(mean / kRateCategories, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(DiscreteGamma, RatesIncreaseAcrossCategories) {
+  const auto r = discrete_gamma_rates(0.8);
+  for (int i = 1; i < kRateCategories; ++i) {
+    EXPECT_GT(r[static_cast<std::size_t>(i)],
+              r[static_cast<std::size_t>(i - 1)]);
+  }
+}
+
+TEST(DiscreteGamma, LargeAlphaApproachesUniformRates) {
+  const auto r = discrete_gamma_rates(500.0);
+  for (double x : r) EXPECT_NEAR(x, 1.0, 0.1);
+  // Small alpha = strong heterogeneity.
+  const auto r2 = discrete_gamma_rates(0.1);
+  EXPECT_LT(r2[0], 0.01);
+  EXPECT_GT(r2[3], 2.0);
+}
+
+TEST(DiscreteGamma, RejectsNonPositiveAlpha) {
+  EXPECT_THROW(discrete_gamma_rates(0.0), std::invalid_argument);
+  EXPECT_THROW(discrete_gamma_rates(-1.0), std::invalid_argument);
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix) {
+  // Symmetric 2x2 with eigenvalues 3 and 1.
+  double m[4] = {2.0, 1.0, 1.0, 2.0};
+  double values[2], vectors[4];
+  jacobi_eigen(m, 2, values, vectors);
+  const double lo = std::min(values[0], values[1]);
+  const double hi = std::max(values[0], values[1]);
+  EXPECT_NEAR(lo, 1.0, 1e-12);
+  EXPECT_NEAR(hi, 3.0, 1e-12);
+}
+
+TEST(Jacobi, EigenvectorsReconstruct) {
+  double orig[9] = {4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.5, 0.25, 2.0};
+  double m[9];
+  std::copy(orig, orig + 9, m);
+  double values[3], v[9];
+  jacobi_eigen(m, 3, values, v);
+  // A = V diag(values) V^T.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double a = 0.0;
+      for (int k = 0; k < 3; ++k) a += v[i * 3 + k] * values[k] * v[j * 3 + k];
+      EXPECT_NEAR(a, orig[i * 3 + j], 1e-10);
+    }
+  }
+}
+
+struct ModelTest : ::testing::Test {
+  GtrParams params = GtrParams::hky(2.0, {0.3, 0.2, 0.2, 0.3});
+  SubstModel model{params, 0.8};
+};
+
+TEST_F(ModelTest, TransitionMatrixAtZeroIsIdentity) {
+  for (int c = 0; c < kRateCategories; ++c) {
+    const Pmatrix p = model.transition_matrix(0.0, c);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p[static_cast<std::size_t>(i * 4 + j)],
+                    i == j ? 1.0 : 0.0, 1e-10);
+      }
+    }
+  }
+}
+
+TEST_F(ModelTest, RowsSumToOne) {
+  for (double t : {0.01, 0.1, 1.0, 10.0}) {
+    const Pmatrix p = model.transition_matrix(t, 1);
+    for (int i = 0; i < 4; ++i) {
+      double row = 0.0;
+      for (int j = 0; j < 4; ++j) row += p[static_cast<std::size_t>(i * 4 + j)];
+      EXPECT_NEAR(row, 1.0, 1e-10);
+    }
+  }
+}
+
+TEST_F(ModelTest, EntriesAreProbabilities) {
+  const Pmatrix p = model.transition_matrix(0.5, 2);
+  for (double x : p) {
+    EXPECT_GE(x, -1e-12);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(ModelTest, DetailedBalance) {
+  // Reversibility: pi_i P_ij(t) = pi_j P_ji(t).
+  const auto& pi = model.freqs();
+  const Pmatrix p = model.transition_matrix(0.3, 0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(pi[static_cast<std::size_t>(i)] *
+                      p[static_cast<std::size_t>(i * 4 + j)],
+                  pi[static_cast<std::size_t>(j)] *
+                      p[static_cast<std::size_t>(j * 4 + i)],
+                  1e-12);
+    }
+  }
+}
+
+TEST_F(ModelTest, ChapmanKolmogorov) {
+  // P(s+t) = P(s) P(t) within one rate category.
+  const Pmatrix ps = model.transition_matrix(0.2, 1);
+  const Pmatrix pt = model.transition_matrix(0.5, 1);
+  const Pmatrix pst = model.transition_matrix(0.7, 1);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double prod = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        prod += ps[static_cast<std::size_t>(i * 4 + k)] *
+                pt[static_cast<std::size_t>(k * 4 + j)];
+      }
+      EXPECT_NEAR(prod, pst[static_cast<std::size_t>(i * 4 + j)], 1e-10);
+    }
+  }
+}
+
+TEST_F(ModelTest, StationaryDistributionPreserved) {
+  // pi P(t) = pi.
+  const auto& pi = model.freqs();
+  const Pmatrix p = model.transition_matrix(2.0, 3);
+  for (int j = 0; j < 4; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      s += pi[static_cast<std::size_t>(i)] *
+           p[static_cast<std::size_t>(i * 4 + j)];
+    }
+    EXPECT_NEAR(s, pi[static_cast<std::size_t>(j)], 1e-10);
+  }
+}
+
+TEST_F(ModelTest, LongTimeConvergesToStationary) {
+  const Pmatrix p = model.transition_matrix(500.0, 3);
+  const auto& pi = model.freqs();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[static_cast<std::size_t>(i * 4 + j)],
+                  pi[static_cast<std::size_t>(j)], 1e-6);
+    }
+  }
+}
+
+TEST_F(ModelTest, UnitSubstitutionRate) {
+  // The generator is normalized: -sum_i pi_i q_ii = 1, so the expected
+  // substitution probability for small t is ~t.
+  const double t = 1e-6;
+  const Pmatrix p = model.transition_matrix(t, 1);
+  const auto& pi = model.freqs();
+  const double r1 = model.rates()[1];
+  double change = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    change += pi[static_cast<std::size_t>(i)] *
+              (1.0 - p[static_cast<std::size_t>(i * 4 + i)]);
+  }
+  EXPECT_NEAR(change / (t * r1), 1.0, 1e-3);
+}
+
+TEST_F(ModelTest, DerivativeMatchesFiniteDifference) {
+  const double t = 0.4, h = 1e-6;
+  const Pmatrix d1 = model.transition_derivative(t, 2, 1);
+  const Pmatrix lo = model.transition_matrix(t - h, 2);
+  const Pmatrix hi = model.transition_matrix(t + h, 2);
+  for (int k = 0; k < 16; ++k) {
+    const double fd = (hi[static_cast<std::size_t>(k)] -
+                       lo[static_cast<std::size_t>(k)]) /
+                      (2.0 * h);
+    EXPECT_NEAR(d1[static_cast<std::size_t>(k)], fd, 1e-5);
+  }
+}
+
+TEST_F(ModelTest, SecondDerivativeMatchesFiniteDifference) {
+  const double t = 0.4, h = 1e-4;
+  const Pmatrix d2 = model.transition_derivative(t, 0, 2);
+  const Pmatrix lo = model.transition_matrix(t - h, 0);
+  const Pmatrix mid = model.transition_matrix(t, 0);
+  const Pmatrix hi = model.transition_matrix(t + h, 0);
+  for (int k = 0; k < 16; ++k) {
+    const double fd = (hi[static_cast<std::size_t>(k)] -
+                       2.0 * mid[static_cast<std::size_t>(k)] +
+                       lo[static_cast<std::size_t>(k)]) /
+                      (h * h);
+    EXPECT_NEAR(d2[static_cast<std::size_t>(k)], fd, 1e-4);
+  }
+}
+
+TEST(GtrParams, HkyEncodesKappa) {
+  const GtrParams p = GtrParams::hky(3.0, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_DOUBLE_EQ(p.rates[1], 3.0);  // AG transition
+  EXPECT_DOUBLE_EQ(p.rates[4], 3.0);  // CT transition
+  EXPECT_DOUBLE_EQ(p.rates[0], 1.0);  // AC transversion
+}
+
+}  // namespace
+}  // namespace cbe::phylo

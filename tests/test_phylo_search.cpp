@@ -1,0 +1,157 @@
+#include "phylo/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phylo/bootstrap.hpp"
+
+namespace cbe::phylo {
+namespace {
+
+SyntheticAlignmentConfig cfg_with_signal() {
+  SyntheticAlignmentConfig c;
+  c.taxa = 12;
+  c.sites = 400;
+  c.mean_branch_length = 0.03;
+  return c;
+}
+
+struct SearchTest : ::testing::Test {
+  SearchTest()
+      : alignment(make_synthetic_alignment(cfg_with_signal())),
+        pa(alignment),
+        model(GtrParams::hky(2.5, pa.base_frequencies()), 0.8),
+        engine(pa, model) {}
+
+  Alignment alignment;
+  PatternAlignment pa;
+  SubstModel model;
+  LikelihoodEngine engine;
+};
+
+TEST_F(SearchTest, StepwiseAdditionBuildsCompleteTree) {
+  util::Rng rng(1);
+  Tree t = stepwise_addition_tree(engine, rng);
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.edge_count(), 2 * 12 - 3);
+  t.check_consistency();
+}
+
+TEST_F(SearchTest, StepwiseBeatsRandomTopology) {
+  util::Rng rng(2);
+  Tree stepwise = stepwise_addition_tree(engine, rng);
+  engine.attach(stepwise);
+  const double l_stepwise = engine.loglik();
+  double l_random_best = -1e300;
+  for (int i = 0; i < 3; ++i) {
+    Tree random = Tree::random(12, rng);
+    engine.attach(random);
+    l_random_best = std::max(l_random_best, engine.loglik());
+  }
+  EXPECT_GT(l_stepwise, l_random_best);
+}
+
+TEST_F(SearchTest, HillClimbNeverWorsens) {
+  util::Rng rng(3);
+  Tree t = Tree::random(12, rng);
+  engine.attach(t);
+  const double before = engine.loglik();
+  const double after = nni_hill_climb(engine, t, SearchConfig{});
+  EXPECT_GE(after, before);
+  t.check_consistency();
+}
+
+TEST_F(SearchTest, SearchIsDeterministicGivenSeed) {
+  util::Rng rng1(7), rng2(7);
+  const SearchResult a = search(engine, rng1);
+  const SearchResult b = search(engine, rng2);
+  EXPECT_DOUBLE_EQ(a.loglik, b.loglik);
+  EXPECT_EQ(a.tree.newick(), b.tree.newick());
+}
+
+TEST_F(SearchTest, DistinctSeedsExploreDifferentStarts) {
+  util::Rng rng1(11), rng2(12);
+  Tree a = stepwise_addition_tree(engine, rng1);
+  Tree b = stepwise_addition_tree(engine, rng2);
+  EXPECT_NE(a.newick(), b.newick());
+}
+
+TEST_F(SearchTest, SearchRecoversStrongSignal) {
+  // On data generated with clear signal, the searched tree's likelihood
+  // should beat the best of many random topologies by a wide margin.
+  util::Rng rng(13);
+  const SearchResult res = search(engine, rng);
+  double best_random = -1e300;
+  for (int i = 0; i < 10; ++i) {
+    Tree r = Tree::random(12, rng);
+    engine.attach(r);
+    best_random = std::max(best_random, engine.loglik());
+  }
+  EXPECT_GT(res.loglik, best_random + 10.0);
+}
+
+TEST_F(SearchTest, BootstrapRestoresWeights) {
+  const std::vector<double> before = pa.weights();
+  util::Rng rng(17);
+  const BootstrapResult res = run_bootstrap(pa, model, rng);
+  EXPECT_EQ(pa.weights(), before);
+  EXPECT_TRUE(std::isfinite(res.loglik));
+  EXPECT_TRUE(res.tree.complete());
+}
+
+TEST_F(SearchTest, BootstrapsDifferAcrossReplicates) {
+  util::Rng rng(19);
+  const BootstrapResult a = run_bootstrap(pa, model, rng);
+  const BootstrapResult b = run_bootstrap(pa, model, rng);
+  EXPECT_NE(a.loglik, b.loglik);
+}
+
+TEST_F(SearchTest, TraceGeneratorRecordsRealAnalysis) {
+  util::Rng rng(23);
+  TraceGenerator gen;
+  run_bootstrap(pa, model, rng, {}, &gen);
+  const task::ProcessTrace& trace = gen.trace();
+  ASSERT_GT(trace.segments.size(), 100u);
+  int newview = 0, evaluate = 0, makenewz = 0;
+  for (const auto& seg : trace.segments) {
+    EXPECT_GT(seg.task.spe_cycles_total(), 0.0);
+    EXPECT_GT(seg.task.ppe_cycles, 0.0);
+    EXPECT_EQ(seg.task.loop.iterations,
+              static_cast<std::uint32_t>(pa.patterns()));
+    switch (seg.task.kind) {
+      case task::KernelClass::Newview: ++newview; break;
+      case task::KernelClass::Evaluate: ++evaluate; break;
+      case task::KernelClass::Makenewz: ++makenewz; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(newview, evaluate);  // newview dominates, as in the profile
+  EXPECT_GT(makenewz, 0);
+  EXPECT_GT(evaluate, 0);
+}
+
+TEST_F(SearchTest, PhyloWorkloadHasOneTracePerBootstrap) {
+  task::Workload wl = make_phylo_workload(pa, model, 3, 99);
+  ASSERT_EQ(wl.size(), 3u);
+  for (const auto& b : wl.bootstraps) EXPECT_GT(b.segments.size(), 50u);
+  // Same seed reproduces the workload exactly.
+  task::Workload wl2 = make_phylo_workload(pa, model, 3, 99);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(wl.bootstraps[i].total_spe_cycles(),
+                     wl2.bootstraps[i].total_spe_cycles());
+  }
+}
+
+TEST_F(SearchTest, DescribeScalesPpeOverSpeSensibly) {
+  TraceGenerator gen;
+  const auto t =
+      gen.describe(task::KernelClass::Newview, pa.patterns(), 0);
+  // The optimized SPE version must beat the PPE version (Section 5.1), and
+  // the granularity test must pass for realistic pattern counts.
+  EXPECT_GT(t.ppe_cycles, t.spe_cycles_total());
+  EXPECT_LT(t.ppe_cycles, 3.0 * t.spe_cycles_total());
+}
+
+}  // namespace
+}  // namespace cbe::phylo

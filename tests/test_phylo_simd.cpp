@@ -1,0 +1,105 @@
+#include "phylo/kernels_simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cbe::phylo {
+namespace {
+
+struct SimdTest : ::testing::Test {
+  SimdTest()
+      : alignment(make_synthetic_alignment([] {
+          SyntheticAlignmentConfig c;
+          c.taxa = 6;
+          c.sites = 300;
+          c.mean_branch_length = 0.05;
+          return c;
+        }())),
+        pa(alignment),
+        model(GtrParams::hky(2.2, pa.base_frequencies()), 0.9) {
+    init_tip_clv(pa, 0, tip0);
+    init_tip_clv(pa, 1, tip1);
+    init_tip_clv(pa, 2, tip2);
+  }
+
+  Alignment alignment;
+  PatternAlignment pa;
+  SubstModel model;
+  Clv<double> tip0, tip1, tip2;
+};
+
+TEST_F(SimdTest, NewviewMatchesScalar) {
+  const BranchP p1 = BranchP::at(model, 0.12);
+  const BranchP p2 = BranchP::at(model, 0.31);
+  Clv<double> scalar, simd;
+  newview(tip0, p1, tip1, p2, scalar);
+  newview_simd(tip0, p1, tip1, p2, simd);
+  ASSERT_EQ(scalar.data.size(), simd.data.size());
+  for (std::size_t i = 0; i < scalar.data.size(); ++i) {
+    EXPECT_NEAR(simd.data[i], scalar.data[i],
+                1e-13 * (1.0 + std::fabs(scalar.data[i])));
+  }
+  EXPECT_EQ(scalar.scale, simd.scale);
+}
+
+TEST_F(SimdTest, NewviewChainStaysClose) {
+  // Repeated application must not diverge (madd vs mul+add rounding).
+  const BranchP p = BranchP::at(model, 0.2);
+  Clv<double> a = tip0, b = tip0;
+  for (int i = 0; i < 20; ++i) {
+    Clv<double> na, nb;
+    newview(a, p, tip1, p, na);
+    newview_simd(b, p, tip1, p, nb);
+    a = std::move(na);
+    b = std::move(nb);
+  }
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double denom = std::max(std::fabs(a.data[i]), 1e-300);
+    EXPECT_LT(std::fabs(a.data[i] - b.data[i]) / denom, 1e-9);
+  }
+}
+
+TEST_F(SimdTest, EvaluateMatchesScalarWithinFastLogTolerance) {
+  const BranchP p1 = BranchP::at(model, 0.1);
+  const BranchP p2 = BranchP::at(model, 0.25);
+  Clv<double> internal;
+  newview(tip0, p1, tip1, p2, internal);
+  const BranchP proot = BranchP::at(model, 0.18);
+  const double scalar =
+      evaluate(internal, tip2, proot, model, pa.weights());
+  const double simd =
+      evaluate_simd(internal, tip2, proot, model, pa.weights());
+  EXPECT_NEAR(simd, scalar, 1e-6 * std::fabs(scalar));
+}
+
+TEST_F(SimdTest, ScalingParityOnDeepChains) {
+  const BranchP p = BranchP::at(model, 0.5);
+  Clv<double> a, b;
+  newview(tip0, p, tip1, p, a);
+  newview_simd(tip0, p, tip1, p, b);
+  for (int i = 0; i < 12; ++i) {
+    Clv<double> na, nb;
+    newview(a, p, a, p, na);
+    newview_simd(b, p, b, p, nb);
+    a = std::move(na);
+    b = std::move(nb);
+  }
+  EXPECT_EQ(a.scale, b.scale);
+  int total = 0;
+  for (int s : a.scale) total += s;
+  EXPECT_GT(total, 0);  // scaling actually exercised
+}
+
+TEST_F(SimdTest, MismatchedPatternsThrow) {
+  Clv<double> small;
+  small.resize(2, kRateCategories);
+  Clv<double> out;
+  const BranchP p = BranchP::at(model, 0.1);
+  EXPECT_THROW(newview_simd(small, p, tip0, p, out), std::invalid_argument);
+  EXPECT_THROW(evaluate_simd(small, tip0, p, model, pa.weights()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbe::phylo

@@ -1,0 +1,174 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cbe::sim {
+namespace {
+
+TEST(Time, ArithmeticAndConversions) {
+  EXPECT_EQ((Time::us(1.0) + Time::us(2.0)).nanoseconds(), 3000);
+  EXPECT_EQ((Time::ms(1.0) - Time::us(1.0)).nanoseconds(), 999000);
+  EXPECT_DOUBLE_EQ(Time::sec(2.0).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Time::us(5.0).to_us(), 5.0);
+  EXPECT_DOUBLE_EQ(Time::sec(4.0) / Time::sec(2.0), 2.0);
+  EXPECT_EQ((Time::us(10.0) * 0.5).nanoseconds(), 5000);
+  EXPECT_LT(Time::us(1.0), Time::us(2.0));
+}
+
+TEST(Time, CyclesToTimeRoundsUpAndFloorsAtOneNs) {
+  EXPECT_EQ(cycles_to_time(3.2, 3.2).nanoseconds(), 1);
+  EXPECT_EQ(cycles_to_time(0.1, 3.2).nanoseconds(), 1);
+  EXPECT_EQ(cycles_to_time(0.0, 3.2).nanoseconds(), 0);
+  EXPECT_EQ(cycles_to_time(6.4, 3.2).nanoseconds(), 2);
+  EXPECT_EQ(cycles_to_time(6.5, 3.2).nanoseconds(), 3);  // ceil
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time::us(3.0), [&] { order.push_back(3); });
+  eng.schedule_at(Time::us(1.0), [&] { order.push_back(1); });
+  eng.schedule_at(Time::us(2.0), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::us(3.0));
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(Time::us(1.0), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine eng;
+  Time fired;
+  eng.schedule_at(Time::us(5.0), [&] {
+    eng.schedule_after(Time::us(2.0), [&] { fired = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(fired, Time::us(7.0));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  bool fired = false;
+  eng.schedule_after(Time::us(-5.0), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.now(), Time());
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine eng;
+  eng.schedule_at(Time::us(2.0), [&] {
+    EXPECT_THROW(eng.schedule_at(Time::us(1.0), [] {}),
+                 std::logic_error);
+  });
+  eng.run();
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.schedule_at(Time::us(1.0), [&] { fired = true; });
+  EXPECT_TRUE(eng.pending(id));
+  eng.cancel(id);
+  EXPECT_FALSE(eng.pending(id));
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeOnFired) {
+  Engine eng;
+  const EventId id = eng.schedule_at(Time::us(1.0), [] {});
+  eng.run();
+  EXPECT_FALSE(eng.pending(id));
+  EXPECT_NO_THROW(eng.cancel(id));
+  EXPECT_NO_THROW(eng.cancel(EventId{}));
+}
+
+TEST(Engine, SlotReuseDoesNotResurrectOldId) {
+  Engine eng;
+  bool first = false, second = false;
+  const EventId id1 = eng.schedule_at(Time::us(1.0), [&] { first = true; });
+  eng.cancel(id1);
+  const EventId id2 = eng.schedule_at(Time::us(2.0), [&] { second = true; });
+  // id1's slot may have been recycled for id2; cancelling id1 again must
+  // not kill id2.
+  eng.cancel(id1);
+  EXPECT_TRUE(eng.pending(id2));
+  eng.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(Time::us(1.0), [&] { ++fired; });
+  eng.schedule_at(Time::us(10.0), [&] { ++fired; });
+  eng.run_until(Time::us(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.events_pending(), 1u);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CallbackChainsAdvanceTime) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_after(Time::ns(10), chain);
+  };
+  eng.schedule_after(Time::ns(10), chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), Time::ns(1000));
+  EXPECT_EQ(eng.events_processed(), 100u);
+}
+
+TEST(Engine, ManyEventsStress) {
+  Engine eng;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    eng.schedule_at(Time::ns(i % 997), [&sum] { ++sum; });
+  }
+  eng.run();
+  EXPECT_EQ(sum, 100000u);
+}
+
+TEST(Engine, CancelInterleavedWithExecutionStress) {
+  Engine eng;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        eng.schedule_at(Time::ns(i), [&fired] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) eng.cancel(ids[i]);
+  eng.run();
+  EXPECT_EQ(fired, 500);
+}
+
+TEST(Engine, TimeNeverGoesBackwards) {
+  Engine eng;
+  Time last;
+  for (int i = 0; i < 50; ++i) {
+    eng.schedule_at(Time::ns(i * 7 % 100), [&, i] {
+      EXPECT_GE(eng.now(), last);
+      last = eng.now();
+    });
+  }
+  eng.run();
+}
+
+}  // namespace
+}  // namespace cbe::sim

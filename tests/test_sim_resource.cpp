@@ -1,0 +1,74 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cbe::sim {
+namespace {
+
+TEST(FifoResource, ImmediateStartWhenFree) {
+  Engine eng;
+  FifoResource res(eng, 2);
+  bool started = false;
+  res.acquire([&] { started = true; });
+  EXPECT_TRUE(started);
+  EXPECT_EQ(res.in_service(), 1u);
+}
+
+TEST(FifoResource, QueuesBeyondCapacity) {
+  Engine eng;
+  FifoResource res(eng, 1);
+  int started = 0;
+  res.acquire([&] { ++started; });
+  res.acquire([&] { ++started; });
+  EXPECT_EQ(started, 1);
+  EXPECT_EQ(res.queued(), 1u);
+  res.release();
+  EXPECT_EQ(started, 2);
+  EXPECT_EQ(res.queued(), 0u);
+}
+
+TEST(FifoResource, FifoOrder) {
+  Engine eng;
+  FifoResource res(eng, 1);
+  std::vector<int> order;
+  res.acquire([&] { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i) {
+    res.acquire([&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 3; ++i) res.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FifoResource, ReleaseWithoutAcquireThrows) {
+  Engine eng;
+  FifoResource res(eng, 1);
+  EXPECT_THROW(res.release(), std::logic_error);
+}
+
+TEST(FifoResource, BusyTimeAccumulates) {
+  Engine eng;
+  FifoResource res(eng, 2);
+  res.acquire([] {});
+  res.acquire([] {});
+  eng.schedule_at(Time::us(10.0), [&] { res.release(); });
+  eng.schedule_at(Time::us(20.0), [&] { res.release(); });
+  eng.run();
+  // 2 busy for 10us + 1 busy for 10us = 30 us of server time.
+  EXPECT_EQ(res.busy_time(), Time::us(30.0));
+}
+
+TEST(FifoResource, CapacityZeroQueuesForever) {
+  Engine eng;
+  FifoResource res(eng, 0);
+  bool started = false;
+  res.acquire([&] { started = true; });
+  eng.run();
+  EXPECT_FALSE(started);
+  EXPECT_EQ(res.queued(), 1u);
+}
+
+}  // namespace
+}  // namespace cbe::sim

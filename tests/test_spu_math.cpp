@@ -1,0 +1,92 @@
+#include "spu/mathlib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cbe::spu {
+namespace {
+
+TEST(FastExp, MatchesLibmOverLikelihoodRange) {
+  // Branch-length exponents in the ML kernels live in roughly [-50, 1].
+  for (double x = -50.0; x <= 1.0; x += 0.0137) {
+    const double want = std::exp(x);
+    const double got = fast_exp(x);
+    EXPECT_NEAR(got, want, std::fabs(want) * 5e-9) << "x=" << x;
+  }
+}
+
+TEST(FastExp, WideRange) {
+  for (double x : {-700.0, -100.0, -1e-12, 0.0, 1e-12, 100.0, 700.0}) {
+    const double want = std::exp(x);
+    const double got = fast_exp(x);
+    if (want == 0.0) {
+      EXPECT_EQ(got, 0.0);
+    } else {
+      EXPECT_NEAR(got / want, 1.0, 1e-8) << "x=" << x;
+    }
+  }
+}
+
+TEST(FastExp, SpecialValues) {
+  EXPECT_DOUBLE_EQ(fast_exp(0.0), 1.0);
+  EXPECT_EQ(fast_exp(800.0), HUGE_VAL);
+  EXPECT_EQ(fast_exp(-800.0), 0.0);
+  EXPECT_TRUE(std::isnan(fast_exp(NAN)));
+}
+
+TEST(FastLog, MatchesLibmOverLikelihoodRange) {
+  // Site likelihoods are tiny positive numbers.
+  for (double x : {1e-300, 1e-100, 1e-20, 1e-5, 0.1, 0.5, 1.0, 2.0, 1e5,
+                   1e100}) {
+    EXPECT_NEAR(fast_log(x), std::log(x),
+                std::fabs(std::log(x)) * 5e-9 + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(FastLog, DenseSweepNearOne) {
+  for (double x = 0.25; x <= 4.0; x += 0.0071) {
+    EXPECT_NEAR(fast_log(x), std::log(x), 2e-9) << "x=" << x;
+  }
+}
+
+TEST(FastLog, SpecialValues) {
+  EXPECT_EQ(fast_log(0.0), -HUGE_VAL);
+  EXPECT_TRUE(std::isnan(fast_log(-1.0)));
+  EXPECT_TRUE(std::isnan(fast_log(NAN)));
+  EXPECT_TRUE(std::isinf(fast_log(HUGE_VAL)));
+  EXPECT_DOUBLE_EQ(fast_log(1.0), 0.0);
+}
+
+TEST(FastMath, ExpLogRoundtrip) {
+  for (double x = -20.0; x < 20.0; x += 0.37) {
+    EXPECT_NEAR(fast_log(fast_exp(x)), x, 1e-8 * (1.0 + std::fabs(x)));
+  }
+}
+
+TEST(FastMath, VectorLanesIndependent) {
+  const double2 x = {{-1.0, 2.0}};
+  const double2 e = fast_exp(x);
+  EXPECT_NEAR(e[0], std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(e[1], std::exp(2.0), 1e-8);
+  const double2 l = fast_log(double2{{0.5, 4.0}});
+  EXPECT_NEAR(l[0], std::log(0.5), 1e-9);
+  EXPECT_NEAR(l[1], std::log(4.0), 1e-9);
+}
+
+class FastExpParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(FastExpParam, RelativeErrorBound) {
+  const double x = GetParam();
+  const double want = std::exp(x);
+  EXPECT_NEAR(fast_exp(x) / want, 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, FastExpParam,
+                         ::testing::Values(-345.6, -17.0, -2.718, -0.5,
+                                           -1e-8, 0.3, 1.0, 5.5, 33.3,
+                                           345.6));
+
+}  // namespace
+}  // namespace cbe::spu

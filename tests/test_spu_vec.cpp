@@ -1,0 +1,77 @@
+#include "spu/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cbe::spu {
+namespace {
+
+TEST(Float4, SplatAndIndex) {
+  const float4 v = float4::splat(2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v[static_cast<std::size_t>(i)],
+                                              2.5f);
+}
+
+TEST(Float4, Arithmetic) {
+  const float4 a = {{1, 2, 3, 4}};
+  const float4 b = {{10, 20, 30, 40}};
+  const float4 s = a + b;
+  const float4 d = b - a;
+  const float4 m = a * b;
+  EXPECT_FLOAT_EQ(s[2], 33.0f);
+  EXPECT_FLOAT_EQ(d[3], 36.0f);
+  EXPECT_FLOAT_EQ(m[1], 40.0f);
+}
+
+TEST(Float4, MaddAndHsum) {
+  const float4 a = {{1, 2, 3, 4}};
+  const float4 b = float4::splat(2.0f);
+  const float4 c = float4::splat(1.0f);
+  const float4 r = madd(a, b, c);
+  EXPECT_FLOAT_EQ(r[0], 3.0f);
+  EXPECT_FLOAT_EQ(r[3], 9.0f);
+  EXPECT_FLOAT_EQ(r.hsum(), 3 + 5 + 7 + 9);
+}
+
+TEST(Double2, LoadStoreRoundtrip) {
+  const double src[2] = {1.5, -2.5};
+  double dst[2] = {};
+  double2::load(src).store(dst);
+  EXPECT_DOUBLE_EQ(dst[0], 1.5);
+  EXPECT_DOUBLE_EQ(dst[1], -2.5);
+}
+
+TEST(Double2, Arithmetic) {
+  const double2 a = {{3.0, 4.0}};
+  const double2 b = {{0.5, 2.0}};
+  EXPECT_DOUBLE_EQ((a + b)[0], 3.5);
+  EXPECT_DOUBLE_EQ((a - b)[1], 2.0);
+  EXPECT_DOUBLE_EQ((a * b)[0], 1.5);
+  EXPECT_DOUBLE_EQ(madd(a, b, b)[1], 10.0);
+  EXPECT_DOUBLE_EQ(a.hsum(), 7.0);
+}
+
+TEST(Double2, ZeroAndSplat) {
+  EXPECT_DOUBLE_EQ(double2::zero().hsum(), 0.0);
+  EXPECT_DOUBLE_EQ(double2::splat(3.0).hsum(), 6.0);
+}
+
+TEST(Select, LanewiseByMaskSign) {
+  const double2 mask = {{1.0, -1.0}};
+  const double2 a = double2::splat(10.0);
+  const double2 b = double2::splat(20.0);
+  const double2 r = select_ge0(mask, a, b);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[1], 20.0);
+}
+
+TEST(Select, ZeroMaskCountsAsNonNegative) {
+  const double2 r = select_ge0(double2::zero(), double2::splat(1.0),
+                               double2::splat(2.0));
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  const float4 rf = select_ge0(float4::zero(), float4::splat(1.0f),
+                               float4::splat(2.0f));
+  EXPECT_FLOAT_EQ(rf[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace cbe::spu
