@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_offload.dir/adaptive_offload.cpp.o"
+  "CMakeFiles/adaptive_offload.dir/adaptive_offload.cpp.o.d"
+  "adaptive_offload"
+  "adaptive_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

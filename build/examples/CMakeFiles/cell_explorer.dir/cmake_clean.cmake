@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_explorer.dir/cell_explorer.cpp.o"
+  "CMakeFiles/cell_explorer.dir/cell_explorer.cpp.o.d"
+  "cell_explorer"
+  "cell_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylogenetics.dir/phylogenetics.cpp.o"
+  "CMakeFiles/phylogenetics.dir/phylogenetics.cpp.o.d"
+  "phylogenetics"
+  "phylogenetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylogenetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_cellsim.dir/machine.cpp.o"
+  "CMakeFiles/cbe_cellsim.dir/machine.cpp.o.d"
+  "CMakeFiles/cbe_cellsim.dir/mfc.cpp.o"
+  "CMakeFiles/cbe_cellsim.dir/mfc.cpp.o.d"
+  "CMakeFiles/cbe_cellsim.dir/ppe.cpp.o"
+  "CMakeFiles/cbe_cellsim.dir/ppe.cpp.o.d"
+  "libcbe_cellsim.a"
+  "libcbe_cellsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_cellsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cbe_cellsim.
+# This may be replaced when dependencies are built.

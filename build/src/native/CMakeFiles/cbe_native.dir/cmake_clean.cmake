@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_native.dir/native_runtime.cpp.o"
+  "CMakeFiles/cbe_native.dir/native_runtime.cpp.o.d"
+  "CMakeFiles/cbe_native.dir/offload_pool.cpp.o"
+  "CMakeFiles/cbe_native.dir/offload_pool.cpp.o.d"
+  "libcbe_native.a"
+  "libcbe_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

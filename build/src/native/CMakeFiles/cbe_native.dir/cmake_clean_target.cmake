@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbe_native.a"
+)

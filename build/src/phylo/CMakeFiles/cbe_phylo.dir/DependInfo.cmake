@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/alignment.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/alignment.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/alignment.cpp.o.d"
+  "/root/repo/src/phylo/bootstrap.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/bootstrap.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/phylo/kernels.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/kernels.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/kernels.cpp.o.d"
+  "/root/repo/src/phylo/kernels_simd.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/kernels_simd.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/kernels_simd.cpp.o.d"
+  "/root/repo/src/phylo/likelihood.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/likelihood.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/likelihood.cpp.o.d"
+  "/root/repo/src/phylo/model.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/model.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/model.cpp.o.d"
+  "/root/repo/src/phylo/model_fit.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/model_fit.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/model_fit.cpp.o.d"
+  "/root/repo/src/phylo/search.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/search.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/search.cpp.o.d"
+  "/root/repo/src/phylo/support.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/support.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/support.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/cbe_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/cbe_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spu/CMakeFiles/cbe_spu.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/cbe_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

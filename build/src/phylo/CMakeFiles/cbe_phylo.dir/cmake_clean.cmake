@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_phylo.dir/alignment.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/alignment.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/bootstrap.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/kernels.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/kernels.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/kernels_simd.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/kernels_simd.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/likelihood.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/likelihood.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/model.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/model.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/model_fit.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/model_fit.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/search.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/search.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/support.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/support.cpp.o.d"
+  "CMakeFiles/cbe_phylo.dir/tree.cpp.o"
+  "CMakeFiles/cbe_phylo.dir/tree.cpp.o.d"
+  "libcbe_phylo.a"
+  "libcbe_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_platform.dir/smp.cpp.o"
+  "CMakeFiles/cbe_platform.dir/smp.cpp.o.d"
+  "libcbe_platform.a"
+  "libcbe_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

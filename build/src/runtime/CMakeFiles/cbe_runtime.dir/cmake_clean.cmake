@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_runtime.dir/loop_executor.cpp.o"
+  "CMakeFiles/cbe_runtime.dir/loop_executor.cpp.o.d"
+  "CMakeFiles/cbe_runtime.dir/sim_runtime.cpp.o"
+  "CMakeFiles/cbe_runtime.dir/sim_runtime.cpp.o.d"
+  "libcbe_runtime.a"
+  "libcbe_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

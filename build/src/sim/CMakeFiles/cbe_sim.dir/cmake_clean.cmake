@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_sim.dir/engine.cpp.o"
+  "CMakeFiles/cbe_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cbe_sim.dir/resource.cpp.o"
+  "CMakeFiles/cbe_sim.dir/resource.cpp.o.d"
+  "libcbe_sim.a"
+  "libcbe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

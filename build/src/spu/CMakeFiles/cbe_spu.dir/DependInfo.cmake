@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spu/counters.cpp" "src/spu/CMakeFiles/cbe_spu.dir/counters.cpp.o" "gcc" "src/spu/CMakeFiles/cbe_spu.dir/counters.cpp.o.d"
+  "/root/repo/src/spu/mathlib.cpp" "src/spu/CMakeFiles/cbe_spu.dir/mathlib.cpp.o" "gcc" "src/spu/CMakeFiles/cbe_spu.dir/mathlib.cpp.o.d"
+  "/root/repo/src/spu/pipeline.cpp" "src/spu/CMakeFiles/cbe_spu.dir/pipeline.cpp.o" "gcc" "src/spu/CMakeFiles/cbe_spu.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_spu.dir/counters.cpp.o"
+  "CMakeFiles/cbe_spu.dir/counters.cpp.o.d"
+  "CMakeFiles/cbe_spu.dir/mathlib.cpp.o"
+  "CMakeFiles/cbe_spu.dir/mathlib.cpp.o.d"
+  "CMakeFiles/cbe_spu.dir/pipeline.cpp.o"
+  "CMakeFiles/cbe_spu.dir/pipeline.cpp.o.d"
+  "libcbe_spu.a"
+  "libcbe_spu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_spu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

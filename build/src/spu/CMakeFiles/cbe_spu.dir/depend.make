@@ -1,0 +1,2 @@
+# Empty dependencies file for cbe_spu.
+# This may be replaced when dependencies are built.

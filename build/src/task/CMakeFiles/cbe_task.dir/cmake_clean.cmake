@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_task.dir/synthetic.cpp.o"
+  "CMakeFiles/cbe_task.dir/synthetic.cpp.o.d"
+  "CMakeFiles/cbe_task.dir/task.cpp.o"
+  "CMakeFiles/cbe_task.dir/task.cpp.o.d"
+  "libcbe_task.a"
+  "libcbe_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbe_util.dir/cli.cpp.o"
+  "CMakeFiles/cbe_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cbe_util.dir/log.cpp.o"
+  "CMakeFiles/cbe_util.dir/log.cpp.o.d"
+  "CMakeFiles/cbe_util.dir/rng.cpp.o"
+  "CMakeFiles/cbe_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cbe_util.dir/stats.cpp.o"
+  "CMakeFiles/cbe_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cbe_util.dir/table.cpp.o"
+  "CMakeFiles/cbe_util.dir/table.cpp.o.d"
+  "libcbe_util.a"
+  "libcbe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellsim_machine.dir/test_cellsim_machine.cpp.o"
+  "CMakeFiles/test_cellsim_machine.dir/test_cellsim_machine.cpp.o.d"
+  "test_cellsim_machine"
+  "test_cellsim_machine.pdb"
+  "test_cellsim_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellsim_mfc.dir/test_cellsim_mfc.cpp.o"
+  "CMakeFiles/test_cellsim_mfc.dir/test_cellsim_mfc.cpp.o.d"
+  "test_cellsim_mfc"
+  "test_cellsim_mfc.pdb"
+  "test_cellsim_mfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellsim_mfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellsim_ppe.dir/test_cellsim_ppe.cpp.o"
+  "CMakeFiles/test_cellsim_ppe.dir/test_cellsim_ppe.cpp.o.d"
+  "test_cellsim_ppe"
+  "test_cellsim_ppe.pdb"
+  "test_cellsim_ppe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellsim_ppe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

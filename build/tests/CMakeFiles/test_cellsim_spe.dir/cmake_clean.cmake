@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellsim_spe.dir/test_cellsim_spe.cpp.o"
+  "CMakeFiles/test_cellsim_spe.dir/test_cellsim_spe.cpp.o.d"
+  "test_cellsim_spe"
+  "test_cellsim_spe.pdb"
+  "test_cellsim_spe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellsim_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_pool.dir/test_native_pool.cpp.o"
+  "CMakeFiles/test_native_pool.dir/test_native_pool.cpp.o.d"
+  "test_native_pool"
+  "test_native_pool.pdb"
+  "test_native_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_alignment.dir/test_phylo_alignment.cpp.o"
+  "CMakeFiles/test_phylo_alignment.dir/test_phylo_alignment.cpp.o.d"
+  "test_phylo_alignment"
+  "test_phylo_alignment.pdb"
+  "test_phylo_alignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

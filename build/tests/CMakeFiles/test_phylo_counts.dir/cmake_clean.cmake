@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_counts.dir/test_phylo_counts.cpp.o"
+  "CMakeFiles/test_phylo_counts.dir/test_phylo_counts.cpp.o.d"
+  "test_phylo_counts"
+  "test_phylo_counts.pdb"
+  "test_phylo_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

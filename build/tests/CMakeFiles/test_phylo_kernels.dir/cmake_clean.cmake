@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_kernels.dir/test_phylo_kernels.cpp.o"
+  "CMakeFiles/test_phylo_kernels.dir/test_phylo_kernels.cpp.o.d"
+  "test_phylo_kernels"
+  "test_phylo_kernels.pdb"
+  "test_phylo_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_modelfit.dir/test_phylo_modelfit.cpp.o"
+  "CMakeFiles/test_phylo_modelfit.dir/test_phylo_modelfit.cpp.o.d"
+  "test_phylo_modelfit"
+  "test_phylo_modelfit.pdb"
+  "test_phylo_modelfit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_modelfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

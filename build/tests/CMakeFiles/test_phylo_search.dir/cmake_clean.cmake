@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_search.dir/test_phylo_search.cpp.o"
+  "CMakeFiles/test_phylo_search.dir/test_phylo_search.cpp.o.d"
+  "test_phylo_search"
+  "test_phylo_search.pdb"
+  "test_phylo_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

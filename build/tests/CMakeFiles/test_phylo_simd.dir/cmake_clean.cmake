@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_simd.dir/test_phylo_simd.cpp.o"
+  "CMakeFiles/test_phylo_simd.dir/test_phylo_simd.cpp.o.d"
+  "test_phylo_simd"
+  "test_phylo_simd.pdb"
+  "test_phylo_simd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

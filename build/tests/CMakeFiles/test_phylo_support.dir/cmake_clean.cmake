@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_support.dir/test_phylo_support.cpp.o"
+  "CMakeFiles/test_phylo_support.dir/test_phylo_support.cpp.o.d"
+  "test_phylo_support"
+  "test_phylo_support.pdb"
+  "test_phylo_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

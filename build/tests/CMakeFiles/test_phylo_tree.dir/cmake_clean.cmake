@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_tree.dir/test_phylo_tree.cpp.o"
+  "CMakeFiles/test_phylo_tree.dir/test_phylo_tree.cpp.o.d"
+  "test_phylo_tree"
+  "test_phylo_tree.pdb"
+  "test_phylo_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_cluster.dir/test_runtime_cluster.cpp.o"
+  "CMakeFiles/test_runtime_cluster.dir/test_runtime_cluster.cpp.o.d"
+  "test_runtime_cluster"
+  "test_runtime_cluster.pdb"
+  "test_runtime_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

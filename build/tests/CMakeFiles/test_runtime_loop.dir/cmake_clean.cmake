@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_loop.dir/test_runtime_loop.cpp.o"
+  "CMakeFiles/test_runtime_loop.dir/test_runtime_loop.cpp.o.d"
+  "test_runtime_loop"
+  "test_runtime_loop.pdb"
+  "test_runtime_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_policies.dir/test_runtime_policies.cpp.o"
+  "CMakeFiles/test_runtime_policies.dir/test_runtime_policies.cpp.o.d"
+  "test_runtime_policies"
+  "test_runtime_policies.pdb"
+  "test_runtime_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spu_pipeline.dir/test_spu_pipeline.cpp.o"
+  "CMakeFiles/test_spu_pipeline.dir/test_spu_pipeline.cpp.o.d"
+  "test_spu_pipeline"
+  "test_spu_pipeline.pdb"
+  "test_spu_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

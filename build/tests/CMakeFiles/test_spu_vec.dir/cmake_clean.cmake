@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spu_vec.dir/test_spu_vec.cpp.o"
+  "CMakeFiles/test_spu_vec.dir/test_spu_vec.cpp.o.d"
+  "test_spu_vec"
+  "test_spu_vec.pdb"
+  "test_spu_vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spu_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
