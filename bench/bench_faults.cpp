@@ -1,0 +1,151 @@
+// Degradation curves under injected faults: how gracefully each scheduling
+// policy loses SPEs, retries transient DMA failures, and routes around
+// stragglers.  All runs are seeded, so every number here replays exactly.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cbe;
+
+struct PolicyEntry {
+  const char* label;
+  std::function<std::unique_ptr<rt::SchedulerPolicy>()> make;
+};
+
+const PolicyEntry kPolicies[] = {
+    {"Linux", [] { return std::unique_ptr<rt::SchedulerPolicy>(
+                       new rt::LinuxPolicy()); }},
+    {"EDTLP", [] { return std::unique_ptr<rt::SchedulerPolicy>(
+                       new rt::EdtlpPolicy()); }},
+    {"EDTLP-LLP(4)", [] { return std::unique_ptr<rt::SchedulerPolicy>(
+                              new rt::StaticHybridPolicy(4)); }},
+    {"MGPS", [] { return std::unique_ptr<rt::SchedulerPolicy>(
+                      new rt::MgpsPolicy()); }},
+};
+
+void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
+                        std::uint64_t seed) {
+  util::Table table("SPE fail-stop degradation (" +
+                    std::to_string(bootstraps) + " bootstraps, seed " +
+                    std::to_string(seed) + "); cells = makespan (x fault-free"
+                    ", SPEs lost)");
+  std::vector<std::string> hdr = {"fail rate"};
+  for (const auto& p : kPolicies) hdr.push_back(p.label);
+  table.header(hdr);
+
+  std::vector<double> fault_free(std::size(kPolicies), 0.0);
+  for (double rate : {0.0, 0.125, 0.25, 0.5}) {
+    std::vector<std::string> row = {util::Table::num(rate, 3)};
+    for (std::size_t i = 0; i < std::size(kPolicies); ++i) {
+      rt::RunConfig cfg;
+      cfg.fault.seed = seed;
+      cfg.fault.spe_fail_rate = rate;
+      auto pol = kPolicies[i].make();
+      const rt::RunResult r =
+          bench::run_bootstraps(bootstraps, *pol, scfg, cfg);
+      if (rate == 0.0) fault_free[i] = r.makespan_s;
+      std::string cell = util::Table::seconds(r.makespan_s);
+      if (rate > 0.0 && fault_free[i] > 0.0) {
+        cell += " (" + util::Table::num(r.makespan_s / fault_free[i]) + "x, " +
+                std::to_string(r.spe_failures) + " lost)";
+      }
+      row.push_back(cell);
+    }
+    table.row(row);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_dma_faults(const task::SyntheticConfig& scfg, int bootstraps,
+                      std::uint64_t seed) {
+  util::Table table("Transient DMA failures under EDTLP (" +
+                    std::to_string(bootstraps) + " bootstraps)");
+  table.header({"fault rate", "makespan", "vs clean", "faults", "retries"});
+  double clean = 0.0;
+  for (double rate : {0.0, 0.01, 0.05, 0.10}) {
+    rt::RunConfig cfg;
+    cfg.fault.seed = seed;
+    cfg.fault.dma_fail_rate = rate;
+    rt::EdtlpPolicy pol;
+    const rt::RunResult r = bench::run_bootstraps(bootstraps, pol, scfg, cfg);
+    if (rate == 0.0) clean = r.makespan_s;
+    table.row({util::Table::num(rate, 2), util::Table::seconds(r.makespan_s),
+               clean > 0 ? util::Table::num(r.makespan_s / clean) + "x" : "-",
+               std::to_string(r.dma_faults), std::to_string(r.dma_retries)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_stragglers(const task::SyntheticConfig& scfg, int bootstraps,
+                      std::uint64_t seed) {
+  util::Table table("Straggler derating (factor 0.3) under watchdog recovery "
+                    "(" + std::to_string(bootstraps) + " bootstraps)");
+  table.header({"policy", "straggler rate", "makespan", "vs clean",
+                "timeouts", "re-offloads"});
+  for (const char* name : {"EDTLP", "MGPS"}) {
+    double clean = 0.0;
+    for (double rate : {0.0, 0.25, 0.5}) {
+      rt::RunConfig cfg;
+      cfg.fault.seed = seed;
+      cfg.fault.straggler_rate = rate;
+      std::unique_ptr<rt::SchedulerPolicy> pol;
+      for (const auto& p : kPolicies) {
+        if (std::string(p.label) == name) pol = p.make();
+      }
+      const rt::RunResult r =
+          bench::run_bootstraps(bootstraps, *pol, scfg, cfg);
+      if (rate == 0.0) clean = r.makespan_s;
+      table.row({name, util::Table::num(rate, 2),
+                 util::Table::seconds(r.makespan_s),
+                 clean > 0 ? util::Table::num(r.makespan_s / clean) + "x"
+                           : "-",
+                 std::to_string(r.timeouts), std::to_string(r.reoffloads)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void sweep_blade_failstop(const task::SyntheticConfig& scfg,
+                          std::uint64_t seed) {
+  util::Table table("Blade fail-stop with bootstrap redistribution "
+                    "(24 bootstraps over 4 blades, EDTLP)");
+  table.header({"blade fail rate", "makespan", "vs clean", "redistributed"});
+  auto factory = [] {
+    return std::unique_ptr<rt::SchedulerPolicy>(new rt::EdtlpPolicy());
+  };
+  const task::Workload wl = task::make_synthetic(24, scfg);
+  double clean = 0.0;
+  for (double rate : {0.0, 0.25, 0.5}) {
+    rt::RunConfig cfg;
+    cfg.fault.seed = seed;
+    cfg.fault.blade_fail_rate = rate;
+    const rt::RunResult r = rt::run_cluster(wl, factory, 4, cfg);
+    if (rate == 0.0) clean = r.makespan_s;
+    table.row({util::Table::num(rate, 2), util::Table::seconds(r.makespan_s),
+               clean > 0 ? util::Table::num(r.makespan_s / clean) + "x" : "-",
+               std::to_string(r.recovered_bootstraps)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto scfg = bench::synthetic_config(cli);
+  const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 8));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
+  sweep_spe_failstop(scfg, bootstraps, seed);
+  sweep_dma_faults(scfg, bootstraps, seed);
+  sweep_stragglers(scfg, bootstraps, seed);
+  sweep_blade_failstop(scfg, seed);
+  return 0;
+}

@@ -3,7 +3,14 @@
 // count (the paper's "future system scaling" discussion, Section 5.5) and
 // the PPE context-switch cost (the EDTLP enabler, Section 5.2).
 //
-//   build/examples/cell_explorer [--bootstraps=N]
+// A third sweep appears when fault injection is requested on the command
+// line: --fault-seed=S with any of --spe-fail-rate, --dma-fail-rate, or
+// --straggler enables the seeded fault plan (see DESIGN.md "Fault model")
+// and reports per-policy degradation against the fault-free run.
+//
+//   build/examples/cell_explorer [--bootstraps=N] [--fault-seed=S]
+//       [--spe-fail-rate=P] [--dma-fail-rate=P] [--straggler=P]
+//       [--straggler-factor=F]
 #include <cstdio>
 
 #include "runtime/mgps.hpp"
@@ -65,6 +72,47 @@ int main(int argc, char** argv) {
                 "cost stays well under the task granularity (96us); the "
                 "Linux baseline is insensitive because it never switches "
                 "on off-load.\n");
+  }
+
+  {
+    sim::FaultConfig fc;
+    fc.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
+    fc.spe_fail_rate = cli.get_double("spe-fail-rate", 0.0);
+    fc.dma_fail_rate = cli.get_double("dma-fail-rate", 0.0);
+    fc.straggler_rate = cli.get_double("straggler", 0.0);
+    fc.straggler_factor =
+        cli.get_double("straggler-factor", fc.straggler_factor);
+    if (fc.enabled()) {
+      std::printf("\n");
+      util::Table table("Sweep 3: fault injection (seed " +
+                        std::to_string(fc.seed) + ", " +
+                        std::to_string(bootstraps) + " bootstraps)");
+      table.header({"policy", "fault-free", "faulty", "degradation",
+                    "SPEs lost", "stragglers", "DMA retries", "re-offloads",
+                    "PPE rescues"});
+      rt::EdtlpPolicy e1, e2;
+      rt::MgpsPolicy m1, m2;
+      struct Row { const char* label; rt::SchedulerPolicy* clean_pol;
+                   rt::SchedulerPolicy* fault_pol; };
+      for (const Row& p : {Row{"EDTLP", &e1, &e2}, Row{"MGPS", &m1, &m2}}) {
+        const auto clean = rt::run_workload(workload, *p.clean_pol, {});
+        rt::RunConfig cfg;
+        cfg.fault = fc;
+        const auto faulty = rt::run_workload(workload, *p.fault_pol, cfg);
+        table.row({p.label, util::Table::seconds(clean.makespan_s),
+                   util::Table::seconds(faulty.makespan_s),
+                   util::Table::num(faulty.makespan_s / clean.makespan_s) +
+                       "x",
+                   std::to_string(faulty.spe_failures),
+                   std::to_string(faulty.stragglers),
+                   std::to_string(faulty.dma_retries),
+                   std::to_string(faulty.reoffloads),
+                   std::to_string(faulty.fault_ppe_fallbacks)});
+      }
+      table.print();
+      std::printf("Same seed, same faults: rerun with a different "
+                  "--fault-seed to sample another fault schedule.\n");
+    }
   }
   return 0;
 }

@@ -25,18 +25,90 @@ CellMachine::CellMachine(sim::Engine& eng, CellParams params,
 std::vector<int> CellMachine::idle_spes(int preferred_cell) const {
   std::vector<int> out;
   for (const auto& s : spes_) {
-    if (s.idle() && s.cell() == preferred_cell) out.push_back(s.id());
+    if (s.idle() && s.usable() && s.cell() == preferred_cell) {
+      out.push_back(s.id());
+    }
   }
   for (const auto& s : spes_) {
-    if (s.idle() && s.cell() != preferred_cell) out.push_back(s.id());
+    if (s.idle() && s.usable() && s.cell() != preferred_cell) {
+      out.push_back(s.id());
+    }
   }
   return out;
 }
 
 int CellMachine::count_idle_spes() const noexcept {
   int n = 0;
-  for (const auto& s : spes_) n += s.idle() ? 1 : 0;
+  for (const auto& s : spes_) n += (s.idle() && s.usable()) ? 1 : 0;
   return n;
+}
+
+int CellMachine::healthy_spes() const noexcept {
+  int n = 0;
+  for (const auto& s : spes_) n += s.usable() ? 1 : 0;
+  return n;
+}
+
+int CellMachine::failed_spes() const noexcept {
+  return num_spes() - healthy_spes();
+}
+
+void CellMachine::install_faults(const sim::FaultPlan& plan) {
+  fault_plan_ = &plan;
+  for (const auto& ev : plan.events()) {
+    if (ev.node < 0 || ev.node >= num_spes()) continue;
+    const sim::Time at = ev.at < eng_.now() ? eng_.now() : ev.at;
+    fault_events_.push_back(eng_.schedule_at(at, [this, ev] {
+      if (ev.kind == sim::FaultKind::FailStop) {
+        fail_spe(ev.node);
+      } else {
+        degrade_spe(ev.node, ev.factor);
+      }
+    }));
+  }
+}
+
+void CellMachine::cancel_pending_faults() noexcept {
+  for (const auto& id : fault_events_) eng_.cancel(id);
+  fault_events_.clear();
+}
+
+void CellMachine::fail_spe(int spe_id) {
+  Spe& s = spe(spe_id);
+  if (!s.usable()) return;
+  s.fail(eng_.now());
+  ++fault_stats_.spe_failures;
+  notify_fault_observers(spe_id);
+}
+
+void CellMachine::degrade_spe(int spe_id, double factor) {
+  Spe& s = spe(spe_id);
+  if (!s.usable()) return;
+  s.degrade(factor);
+  ++fault_stats_.stragglers;
+}
+
+int CellMachine::add_fault_observer(FaultObserver obs) {
+  const int id = next_observer_id_++;
+  fault_observers_.emplace_back(id, std::move(obs));
+  return id;
+}
+
+void CellMachine::remove_fault_observer(int id) noexcept {
+  for (auto it = fault_observers_.begin(); it != fault_observers_.end();
+       ++it) {
+    if (it->first == id) {
+      fault_observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void CellMachine::notify_fault_observers(int spe_id) {
+  // Observers may remove themselves (or register new ones) while being
+  // notified; iterate over a snapshot.
+  std::vector<std::pair<int, FaultObserver>> snapshot = fault_observers_;
+  for (auto& [id, obs] : snapshot) obs(spe_id);
 }
 
 void CellMachine::ensure_module(int spe_id, std::uint16_t module,
@@ -57,14 +129,43 @@ void CellMachine::ensure_module(int spe_id, std::uint16_t module,
 }
 
 void CellMachine::spe_compute(int spe_id, double cycles, Fn done) {
-  (void)spe(spe_id);  // bounds check
-  eng_.schedule_after(sim::cycles_to_time(cycles, params_.clock_ghz),
-                      [cb = std::move(done)] { cb(); });
+  // A degraded SPE silently computes at a fraction of the nominal clock; a
+  // fail-stop during the burst suppresses the completion (the work is lost
+  // and the runtime's watchdog must recover it).
+  const double factor = spe(spe_id).speed_factor();
+  eng_.schedule_after(
+      sim::cycles_to_time(cycles / factor, params_.clock_ghz),
+      [this, spe_id, cb = std::move(done)] {
+        if (!spe(spe_id).usable()) return;
+        cb();
+      });
 }
 
 void CellMachine::dma(int spe_id, double bytes, int chunks, Fn done) {
+  // Unchecked transfers (code loads, legacy callers) are not subject to the
+  // transient-failure oracle; only dma_checked consumes oracle draws, so a
+  // caller mix cannot perturb the deterministic failure sequence.
+  start_dma(spe_id, bytes, chunks, /*ok=*/true,
+            [cb = std::move(done)](bool) { cb(); });
+}
+
+void CellMachine::dma_checked(int spe_id, double bytes, int chunks,
+                              DmaFn done) {
+  // The oracle is consulted at issue time so replay is a pure function of
+  // the deterministic transfer sequence number.
+  bool ok = true;
+  if (bytes > 0.0 && fault_plan_ != nullptr &&
+      fault_plan_->dma_fails(dma_seq_++)) {
+    ok = false;
+    ++fault_stats_.dma_faults;
+  }
+  start_dma(spe_id, bytes, chunks, ok, std::move(done));
+}
+
+void CellMachine::start_dma(int spe_id, double bytes, int chunks, bool ok,
+                            DmaFn done) {
   if (bytes <= 0.0) {
-    done();
+    done(true);
     return;
   }
   ++active_dma_;
@@ -78,9 +179,10 @@ void CellMachine::dma(int spe_id, double bytes, int chunks, Fn done) {
   const sim::Time t = mfc_.transfer_time(bytes, chunks,
                                          std::max(busy_in_cell, 1),
                                          /*cross_cell=*/false);
-  eng_.schedule_after(t, [this, cb = std::move(done)] {
+  eng_.schedule_after(t, [this, spe_id, ok, cb = std::move(done)] {
     --active_dma_;
-    cb();
+    if (!spe(spe_id).usable()) return;
+    cb(ok);
   });
 }
 
@@ -97,7 +199,10 @@ sim::Time CellMachine::pass_latency(int from, int to) const noexcept {
 
 void CellMachine::signal(int spe_id, Fn done) {
   eng_.schedule_after(signal_latency(spe_id),
-                      [cb = std::move(done)] { cb(); });
+                      [this, spe_id, cb = std::move(done)] {
+                        if (!spe(spe_id).usable()) return;
+                        cb();
+                      });
 }
 
 sim::Time CellMachine::solo_dma_time(double bytes,

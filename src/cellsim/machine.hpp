@@ -13,13 +13,23 @@
 #include "cellsim/ppe.hpp"
 #include "cellsim/spe.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "task/task.hpp"
 
 namespace cbe::cell {
 
+/// Counters for injected faults observed by the machine model.
+struct FaultStats {
+  std::uint64_t spe_failures = 0;  ///< fail-stop events applied
+  std::uint64_t stragglers = 0;    ///< derating events applied
+  std::uint64_t dma_faults = 0;    ///< transient DMA failures injected
+};
+
 class CellMachine {
  public:
   using Fn = std::function<void()>;
+  using DmaFn = std::function<void(bool ok)>;
+  using FaultObserver = std::function<void(int spe)>;
 
   CellMachine(sim::Engine& eng, CellParams params,
               const task::ModuleRegistry& modules);
@@ -34,9 +44,32 @@ class CellMachine {
   const Spe& spe(int i) const { return spes_.at(static_cast<std::size_t>(i)); }
   Ppe& ppe(int cell = 0) { return *ppes_.at(static_cast<std::size_t>(cell)); }
 
-  /// Idle SPE ids, preferring the given cell first (locality).
+  /// Idle SPE ids, preferring the given cell first (locality).  Failed SPEs
+  /// are never offered.
   std::vector<int> idle_spes(int preferred_cell = 0) const;
   int count_idle_spes() const noexcept;
+  /// SPEs that have not fail-stopped (healthy or degraded).
+  int healthy_spes() const noexcept;
+  int failed_spes() const noexcept;
+
+  // -- Fault injection -----------------------------------------------------
+  /// Schedules the plan's events on the engine and enables its DMA oracle.
+  /// The plan must outlive the machine's use of it.  Scheduled events keep
+  /// the engine alive; call cancel_pending_faults() once the workload drains.
+  void install_faults(const sim::FaultPlan& plan);
+  /// Cancels fault events that have not fired yet (end of workload).
+  void cancel_pending_faults() noexcept;
+  /// Applies a fail-stop now: marks the SPE dead, clears its occupancy and
+  /// notifies observers.  In-flight completion callbacks on this SPE are
+  /// suppressed when they fire.
+  void fail_spe(int spe);
+  /// Applies straggler derating now.
+  void degrade_spe(int spe, double factor);
+  /// Observers fire on every SPE fail-stop (loop executor uses this for
+  /// chunk reassignment; the runtime driver for wait-queue rescue).
+  int add_fault_observer(FaultObserver obs);
+  void remove_fault_observer(int id) noexcept;
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
 
   /// Ensures the (module, variant) image is resident on `spe`; `done` fires
   /// immediately if already resident, else after the code DMA.  The paper's
@@ -51,6 +84,12 @@ class CellMachine {
   /// aggregation: an optimized transfer uses one DMA-list entry per 16 KB;
   /// naive code issues one small request per loop iteration.
   void dma(int spe, double bytes, int chunks, Fn done);
+
+  /// DMA whose completion reports success: an installed fault plan may mark
+  /// the transfer as transiently failed (`ok == false`), in which case the
+  /// full transfer time was still spent and the caller decides whether to
+  /// retry.  Without a plan this behaves exactly like dma().
+  void dma_checked(int spe, double bytes, int chunks, DmaFn done);
 
   /// One-way PPE<->SPE mailbox signal delay (t_comm in the granularity
   /// test of Section 5.2).
@@ -71,6 +110,9 @@ class CellMachine {
   int active_dmas() const noexcept { return active_dma_; }
 
  private:
+  void notify_fault_observers(int spe);
+  void start_dma(int spe, double bytes, int chunks, bool ok, DmaFn done);
+
   sim::Engine& eng_;
   CellParams params_;
   const task::ModuleRegistry* modules_;
@@ -78,6 +120,13 @@ class CellMachine {
   std::vector<Spe> spes_;
   std::vector<std::unique_ptr<Ppe>> ppes_;
   int active_dma_ = 0;
+
+  const sim::FaultPlan* fault_plan_ = nullptr;
+  std::vector<sim::EventId> fault_events_;
+  std::uint64_t dma_seq_ = 0;
+  FaultStats fault_stats_;
+  std::vector<std::pair<int, FaultObserver>> fault_observers_;
+  int next_observer_id_ = 0;
 };
 
 }  // namespace cbe::cell

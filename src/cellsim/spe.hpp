@@ -11,6 +11,10 @@ namespace cbe::cell {
 
 enum class ModuleVariant : std::uint8_t { None, Sequential, Parallel };
 
+/// SPE availability under fault injection.  Failed is terminal (fail-stop);
+/// Degraded keeps serving tasks at a reduced clock (silent straggler).
+enum class SpeHealth : std::uint8_t { Healthy, Degraded, Failed };
+
 /// Local-store budget: code + static data + stack/heap must fit in 256 KB.
 /// The runtime queries `can_load` before shipping a module (the paper keeps
 /// 139 KB free for stack/heap after loading the 117 KB merged module).
@@ -67,6 +71,32 @@ class Spe {
     ++tasks_served_;
   }
 
+  SpeHealth health() const noexcept { return health_; }
+  bool usable() const noexcept { return health_ != SpeHealth::Failed; }
+  /// Effective clock fraction: 1.0 when healthy, the derate factor when
+  /// degraded.
+  double speed_factor() const noexcept { return speed_; }
+
+  /// Fail-stop: the SPE halts permanently.  Any task it was running is lost;
+  /// the occupancy flag is cleared (with busy-time accounted) so the SPE does
+  /// not leak a reservation the runtime can never release.
+  void fail(sim::Time now) noexcept {
+    if (health_ == SpeHealth::Failed) return;
+    if (busy_) {
+      busy_ = false;
+      busy_acc_ += now - last_change_;
+      last_change_ = now;
+    }
+    health_ = SpeHealth::Failed;
+  }
+  /// Silent straggler: the clock drops to `factor` of nominal for all
+  /// subsequent compute.  No-op on a failed SPE.
+  void degrade(double factor) noexcept {
+    if (health_ == SpeHealth::Failed) return;
+    health_ = SpeHealth::Degraded;
+    speed_ = factor < 0.01 ? 0.01 : (factor > 1.0 ? 1.0 : factor);
+  }
+
   std::uint16_t module() const noexcept { return module_; }
   ModuleVariant variant() const noexcept { return variant_; }
   bool has_module(std::uint16_t m, ModuleVariant v) const noexcept {
@@ -95,6 +125,8 @@ class Spe {
   int cell_;
   LocalStore ls_;
   bool busy_ = false;
+  SpeHealth health_ = SpeHealth::Healthy;
+  double speed_ = 1.0;
   std::uint16_t module_ = 0;
   ModuleVariant variant_ = ModuleVariant::None;
   sim::Time busy_acc_;

@@ -18,6 +18,12 @@ OffloadPool::OffloadPool(int workers) {
 
 OffloadPool::~OffloadPool() {
   {
+    std::lock_guard lock(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  if (wd_thread_.joinable()) wd_thread_.join();
+  {
     std::lock_guard lock(mu_);
     stop_ = true;
   }
@@ -39,6 +45,83 @@ void OffloadPool::enqueue(std::function<void()> job) {
 
 std::future<void> OffloadPool::offload(std::function<void()> task) {
   return offload_result([task = std::move(task)] { task(); });
+}
+
+std::future<void> OffloadPool::offload_with_retry(
+    std::function<void()> task, int max_retries,
+    std::chrono::microseconds base_backoff) {
+  auto prom = std::make_shared<std::promise<void>>();
+  std::future<void> fut = prom->get_future();
+  enqueue([this, prom, task = std::move(task), max_retries, base_backoff] {
+    std::chrono::microseconds backoff = base_backoff;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        task();
+        prom->set_value();
+        return;
+      } catch (...) {
+        if (attempt >= max_retries) {
+          prom->set_exception(std::current_exception());
+          return;
+        }
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+    }
+  });
+  return fut;
+}
+
+std::future<void> OffloadPool::offload_with_deadline(
+    std::function<void()> task, std::chrono::microseconds deadline,
+    std::function<void()> on_timeout) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  const auto at = std::chrono::steady_clock::now() + deadline;
+  {
+    std::lock_guard lock(wd_mu_);
+    if (!wd_thread_.joinable()) {
+      wd_thread_ = std::thread([this] { watchdog_loop(); });
+    }
+    deadlines_.push({at, done, std::move(on_timeout)});
+  }
+  wd_cv_.notify_one();
+  return offload_result([task = std::move(task), done] {
+    // Mark completion even on a throwing task: the future already carries
+    // the failure, a deadline miss on top would be noise.
+    struct Mark {
+      std::shared_ptr<std::atomic<bool>> d;
+      ~Mark() { d->store(true, std::memory_order_release); }
+    } mark{done};
+    task();
+  });
+}
+
+void OffloadPool::watchdog_loop() {
+  std::unique_lock lock(wd_mu_);
+  while (!wd_stop_) {
+    if (deadlines_.empty()) {
+      wd_cv_.wait(lock, [this] { return wd_stop_ || !deadlines_.empty(); });
+      continue;
+    }
+    const auto next = deadlines_.top().at;
+    const bool woken = wd_cv_.wait_until(lock, next, [this, next] {
+      return wd_stop_ ||
+             (!deadlines_.empty() && deadlines_.top().at < next);
+    });
+    if (woken) continue;  // stopping, or an earlier deadline arrived
+    const auto now = std::chrono::steady_clock::now();
+    while (!deadlines_.empty() && deadlines_.top().at <= now) {
+      Deadline d = deadlines_.top();
+      deadlines_.pop();
+      lock.unlock();
+      if (!d.done->load(std::memory_order_acquire)) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (d.on_timeout) d.on_timeout();
+      }
+      lock.lock();
+    }
+  }
 }
 
 void OffloadPool::worker_loop() {
@@ -75,9 +158,13 @@ void OffloadPool::parallel_for(
   struct LoopState {
     std::atomic<std::int64_t> cursor;
     std::atomic<std::int64_t> completed{0};
+    std::atomic<int> inflight{0};  ///< participants inside run_chunks
+    std::atomic<bool> has_error{false};
     std::int64_t end;
     std::int64_t grain;
     std::function<void(std::int64_t, std::int64_t)> body;
+    std::mutex err_mu;
+    std::exception_ptr error;
   };
   auto st = std::make_shared<LoopState>();
   st->cursor.store(begin, std::memory_order_relaxed);
@@ -86,23 +173,49 @@ void OffloadPool::parallel_for(
   st->body = body;
 
   auto run_chunks = [](LoopState& s) {
+    s.inflight.fetch_add(1, std::memory_order_acq_rel);
     for (;;) {
+      if (s.has_error.load(std::memory_order_acquire)) break;
       const std::int64_t lo =
           s.cursor.fetch_add(s.grain, std::memory_order_relaxed);
       if (lo >= s.end) break;
       const std::int64_t hi = std::min(lo + s.grain, s.end);
-      s.body(lo, hi);
+      try {
+        s.body(lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard lk(s.err_mu);
+          if (!s.error) s.error = std::current_exception();
+        }
+        s.has_error.store(true, std::memory_order_release);
+        // Exhaust the cursor so no further chunk is claimed.
+        s.cursor.store(s.end, std::memory_order_relaxed);
+        break;
+      }
       s.completed.fetch_add(hi - lo, std::memory_order_acq_rel);
     }
+    s.inflight.fetch_sub(1, std::memory_order_acq_rel);
   };
 
   for (int i = 0; i < degree - 1; ++i) {
     enqueue([st, run_chunks] { run_chunks(*st); });
   }
   run_chunks(*st);  // master participates
+  // A thrown chunk never counts toward `completed`, so an error always
+  // lands in the second exit condition; waiting for inflight to drain
+  // guarantees no participant is still inside the body when we rethrow
+  // (queued-but-unstarted helpers bail on has_error without touching it).
   const std::int64_t total = end - begin;
   while (st->completed.load(std::memory_order_acquire) < total) {
+    if (st->has_error.load(std::memory_order_acquire) &&
+        st->inflight.load(std::memory_order_acquire) == 0) {
+      break;
+    }
     std::this_thread::yield();
+  }
+  if (st->has_error.load(std::memory_order_acquire)) {
+    std::lock_guard lk(st->err_mu);
+    std::rethrow_exception(st->error);
   }
 }
 

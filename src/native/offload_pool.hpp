@@ -10,12 +10,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -57,11 +60,33 @@ class OffloadPool {
     return fut;
   }
 
+  /// Off-loads `task`, re-running it up to `max_retries` extra times with
+  /// exponential backoff (base_backoff, doubled per attempt) when it throws
+  /// — the host analogue of the simulator's transient-DMA retry.  The
+  /// future carries the last exception once the budget is exhausted.
+  std::future<void> offload_with_retry(
+      std::function<void()> task, int max_retries = 2,
+      std::chrono::microseconds base_backoff =
+          std::chrono::microseconds(100));
+
+  /// Off-loads `task` under a wall-clock deadline.  If it has not finished
+  /// by then, the miss is counted and `on_timeout` (if any) fires once on
+  /// the watchdog thread.  The task itself runs to completion regardless —
+  /// host threads cannot be safely killed — so this detects stragglers
+  /// rather than cancelling them.
+  std::future<void> offload_with_deadline(
+      std::function<void()> task, std::chrono::microseconds deadline,
+      std::function<void()> on_timeout = {});
+
   /// Work-shares [begin, end) across up to `degree` participants (the
   /// calling thread included, playing the master SPE).  Chunks are claimed
   /// dynamically from an atomic cursor (grain-sized), so late-starting
   /// workers self-balance — the host analogue of the paper's purposeful
   /// load unbalancing.  Blocks until the whole range is done.
+  ///
+  /// If the body throws, the first exception is captured, remaining chunks
+  /// are abandoned, and the exception is rethrown here on the caller once
+  /// every running participant has stopped.  The pool stays usable.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>&
                         body,
@@ -70,10 +95,26 @@ class OffloadPool {
   std::uint64_t tasks_executed() const noexcept {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
+  /// Task re-executions performed by offload_with_retry.
+  std::uint64_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  /// Deadlines that expired before their task completed.
+  std::uint64_t deadline_misses() const noexcept {
+    return deadline_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Deadline {
+    std::chrono::steady_clock::time_point at;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::function<void()> on_timeout;
+    bool operator>(const Deadline& o) const noexcept { return at > o.at; }
+  };
+
   void enqueue(std::function<void()> job);
   void worker_loop();
+  void watchdog_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -82,6 +123,17 @@ class OffloadPool {
   bool stop_ = false;
   std::atomic<int> busy_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+
+  // Deadline watchdog: one lazily started thread serving a min-heap of
+  // outstanding deadlines.
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<Deadline>>
+      deadlines_;
+  std::thread wd_thread_;
+  bool wd_stop_ = false;
+  std::atomic<std::uint64_t> deadline_misses_{0};
 };
 
 }  // namespace cbe::native

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 #include "cellsim/mfc.hpp"
@@ -19,6 +22,174 @@ void LoopBalancer::observe(double master_idle_us, double worker_wait_us,
   const double step = std::clamp(imbalance * 0.5, -0.10, 0.10);
   bias_ = std::clamp(bias_ * (1.0 + step), 0.5, 3.0);
 }
+
+namespace {
+
+/// Shared per-invocation state of one work-shared loop.  Lives until the
+/// last completion callback (or abandonment after a master fail-stop).
+struct LoopState {
+  cell::CellMachine* m = nullptr;
+  sim::Engine* eng = nullptr;
+  LoopBalancer* bal = nullptr;
+  int master = -1;
+  int degree = 1;
+  std::uint16_t module_id = 0;
+  double cycles_per_iter = 0.0;
+  double bytes_in_per_iter = 0.0;
+  double join_cycles_per_worker = 0.0;
+  double clock = 1.0;
+  int max_dma_retries = 0;
+  std::uint64_t* reassigned_ctr = nullptr;
+  std::uint64_t* retry_ctr = nullptr;
+  std::function<void()> release_hook;  ///< fires on dead-loop SPE releases
+
+  int remaining = 0;       ///< worker results not yet arrived or reassigned
+  bool master_done = false;
+  bool master_busy = false;  ///< master re-executing a reassigned chunk
+  bool dead = false;         ///< master fail-stopped; loop abandoned
+  bool faulted = false;      ///< any fault touched this loop (skip balancer)
+  bool finished = false;
+  std::uint32_t extra_iters = 0;  ///< iterations awaiting master re-execution
+  /// worker -> iterations whose result has not been computed yet; erased at
+  /// chunk-compute completion, so a later worker death cannot reassign work
+  /// whose Pass is already in flight.
+  std::map<int, std::uint32_t> pending;
+  /// Workers whose fetch chain has started; they release themselves even if
+  /// the master dies.  Unstarted workers are freed by the master-death hook.
+  std::set<int> launched;
+  int observer = -1;
+
+  sim::Time start;
+  sim::Time master_end;
+  sim::Time last_arrival;
+  std::function<void()> done;
+};
+
+void loop_finish_check(const std::shared_ptr<LoopState>& st);
+
+/// After its own chunk, the master absorbs iterations reassigned from lost
+/// workers, one batch per pass (more may accumulate while it computes).
+void loop_master_drain(const std::shared_ptr<LoopState>& st) {
+  if (st->dead || st->finished) return;
+  if (!st->master_done || st->master_busy) return;
+  if (st->extra_iters == 0) {
+    loop_finish_check(st);
+    return;
+  }
+  const auto batch = static_cast<double>(st->extra_iters);
+  st->extra_iters = 0;
+  st->master_busy = true;
+  st->m->spe_compute(st->master, st->cycles_per_iter * batch, [st] {
+    st->master_busy = false;
+    st->master_end = st->eng->now();
+    loop_master_drain(st);
+  });
+}
+
+void loop_finish_check(const std::shared_ptr<LoopState>& st) {
+  if (st->dead || st->finished) return;
+  if (!st->master_done || st->master_busy || st->extra_iters != 0 ||
+      st->remaining != 0) {
+    return;
+  }
+  st->finished = true;
+  if (st->observer >= 0) {
+    st->m->remove_fault_observer(st->observer);
+    st->observer = -1;
+  }
+  if (!st->faulted) {
+    // Feed the balancer only with clean invocations: a reassigned chunk or
+    // retried transfer distorts the master/worker timing signal.
+    const double master_idle =
+        st->last_arrival > st->master_end
+            ? (st->last_arrival - st->master_end).to_us()
+            : 0.0;
+    const double worker_wait =
+        st->master_end > st->last_arrival
+            ? (st->master_end - st->last_arrival).to_us()
+            : 0.0;
+    st->bal->observe(master_idle, worker_wait,
+                     (st->eng->now() - st->start).to_us());
+  }
+  // Sequential merge of (d-1) partial results on the master.
+  const sim::Time join = sim::cycles_to_time(
+      st->join_cycles_per_worker * static_cast<double>(st->degree - 1),
+      st->clock);
+  st->eng->schedule_after(join, [st] { st->done(); });
+}
+
+/// Moves a lost worker's outstanding iterations to the master.  No-op when
+/// the worker has no pending chunk (already computed, or not ours).
+void loop_reassign(const std::shared_ptr<LoopState>& st, int w) {
+  auto it = st->pending.find(w);
+  if (it == st->pending.end()) return;
+  const std::uint32_t iters = it->second;
+  st->pending.erase(it);
+  if (st->dead) return;  // abandoned loop: the driver watchdog re-runs it
+  st->faulted = true;
+  st->extra_iters += iters;
+  --st->remaining;
+  ++*st->reassigned_ctr;
+  loop_master_drain(st);
+}
+
+/// Worker data fetch through the checked DMA path, retried on transient
+/// failure; on retry exhaustion the chunk is reassigned to the master and
+/// the worker freed.
+void loop_worker_fetch(const std::shared_ptr<LoopState>& st, int w,
+                       std::uint32_t iters, double bytes, int chunks,
+                       int attempt) {
+  st->m->dma_checked(w, bytes, chunks, [st, w, iters, bytes, chunks,
+                                        attempt](bool ok) {
+    if (!ok) {
+      st->faulted = true;
+      if (attempt < st->max_dma_retries) {
+        ++*st->retry_ctr;
+        loop_worker_fetch(st, w, iters, bytes, chunks, attempt + 1);
+        return;
+      }
+      // The completion only fires on a usable SPE, so the worker is alive
+      // but its input transfer is lost for good: free it and let the master
+      // re-execute the chunk.
+      st->m->spe(w).release(st->eng->now());
+      loop_reassign(st, w);
+      if (st->dead && st->release_hook) st->release_hook();
+      return;
+    }
+    const double cycles = st->cycles_per_iter * static_cast<double>(iters);
+    st->m->spe_compute(w, cycles, [st, w] {
+      st->pending.erase(w);
+      st->m->spe(w).release(st->eng->now());
+      if (st->dead && st->release_hook) st->release_hook();
+      st->eng->schedule_after(st->m->pass_latency(w, st->master), [st] {
+        if (st->dead || st->finished) return;
+        st->last_arrival = st->eng->now();
+        --st->remaining;
+        loop_finish_check(st);
+      });
+    });
+  });
+}
+
+/// Worker-side chain, entered when the Pass structure lands in its LS.
+void loop_launch_worker(const std::shared_ptr<LoopState>& st, int w,
+                        std::uint32_t iters) {
+  // A master fail-stop already freed this worker's reservation (see the
+  // fault hook); the stale Pass delivery must not touch the SPE, which may
+  // have been handed to another task by now.
+  if (st->dead) return;
+  st->launched.insert(w);
+  st->m->ensure_module(w, st->module_id, cell::ModuleVariant::Parallel,
+                       [st, w, iters] {
+    const double bytes =
+        st->bytes_in_per_iter * static_cast<double>(iters);
+    const int chunks = cell::MfcRules::list_entries(
+        static_cast<std::size_t>(bytes), st->m->params());
+    loop_worker_fetch(st, w, iters, bytes, chunks, 0);
+  });
+}
+
+}  // namespace
 
 void LoopExecutor::run(int master, std::vector<int> workers,
                        const task::TaskDesc& task, LoopBalancer& balancer,
@@ -46,101 +217,91 @@ void LoopExecutor::run(int master, std::vector<int> workers,
   std::vector<std::uint32_t> w_iters(workers.size(), rest / nw);
   for (std::uint32_t k = 0; k < rest % nw; ++k) ++w_iters[k];
 
-  struct State {
-    int remaining;
-    bool master_done = false;
-    sim::Time start;
-    sim::Time master_end;
-    sim::Time last_arrival;
-    std::function<void()> done;
-  };
-  auto st = std::make_shared<State>();
+  auto st = std::make_shared<LoopState>();
+  st->m = m;
+  st->eng = eng;
+  st->bal = &balancer;
+  st->master = master;
+  st->degree = d;
+  st->module_id = task.module_id;
+  st->cycles_per_iter = loop.spe_cycles_per_iter;
+  st->bytes_in_per_iter = loop.bytes_in_per_iter;
+  st->clock = m->params().clock_ghz;
+  st->join_cycles_per_worker = params_.join_per_worker_us * st->clock * 1e3 +
+                               loop.reduction_cycles_per_worker;
+  st->max_dma_retries = params_.max_dma_retries;
+  st->reassigned_ctr = &reassigned_chunks_;
+  st->retry_ctr = &dma_retries_;
+  st->release_hook = release_hook_;
   st->remaining = static_cast<int>(workers.size());
   st->start = eng->now();
   st->done = std::move(done);
-
-  const double clock = m->params().clock_ghz;
-  const double join_cycles_per_worker =
-      params_.join_per_worker_us * clock * 1e3 +
-      loop.reduction_cycles_per_worker;
-  LoopBalancer* bal = &balancer;
-
-  auto maybe_finish = [st, d, join_cycles_per_worker, clock, eng, bal] {
-    if (!st->master_done || st->remaining != 0) return;
-    const double master_idle =
-        st->last_arrival > st->master_end
-            ? (st->last_arrival - st->master_end).to_us()
-            : 0.0;
-    const double worker_wait =
-        st->master_end > st->last_arrival
-            ? (st->master_end - st->last_arrival).to_us()
-            : 0.0;
-    bal->observe(master_idle, worker_wait, (eng->now() - st->start).to_us());
-    // Sequential merge of (d-1) partial results on the master.
-    const sim::Time join = sim::cycles_to_time(
-        join_cycles_per_worker * static_cast<double>(d - 1), clock);
-    eng->schedule_after(join, [st] { st->done(); });
-  };
-
-  // Worker-side chain, entered when the Pass structure lands in its LS.
-  auto launch_worker = [m, eng, st, loop, task, maybe_finish, master](
-                           int w, std::uint32_t iters) {
-    m->ensure_module(w, task.module_id, cell::ModuleVariant::Parallel,
-                     [m, eng, st, loop, maybe_finish, master, w, iters] {
-      const double bytes = loop.bytes_in_per_iter * static_cast<double>(iters);
-      const int chunks = cell::MfcRules::list_entries(
-          static_cast<std::size_t>(bytes), m->params());
-      m->dma(w, bytes, chunks,
-             [m, eng, st, loop, maybe_finish, master, w, iters] {
-        const double cycles =
-            loop.spe_cycles_per_iter * static_cast<double>(iters);
-        m->spe_compute(w, cycles, [m, eng, st, maybe_finish, master, w] {
-          m->spe(w).release(eng->now());
-          eng->schedule_after(m->pass_latency(w, master),
-                              [st, maybe_finish, eng] {
-            st->last_arrival = eng->now();
-            --st->remaining;
-            maybe_finish();
-          });
-        });
-      });
-    });
-  };
+  for (std::size_t k = 0; k < workers.size(); ++k) {
+    st->pending.emplace(workers[k], w_iters[k]);
+  }
+  // Fail-stop hook: a lost worker's chunk moves to the master; a lost master
+  // kills the loop (the runtime driver's watchdog recovers the whole task).
+  st->observer = m->add_fault_observer([st](int spe) {
+    if (st->finished || st->dead) return;
+    if (spe == st->master) {
+      st->dead = true;
+      if (st->observer >= 0) {
+        st->m->remove_fault_observer(st->observer);
+        st->observer = -1;
+      }
+      // Free workers whose fetch chain never started (their Pass send was
+      // cut off with the master); started workers release themselves.
+      for (auto it = st->pending.begin(); it != st->pending.end();) {
+        const int w = it->first;
+        if (st->launched.count(w) != 0) {
+          ++it;
+          continue;
+        }
+        if (st->m->spe(w).usable() && !st->m->spe(w).idle()) {
+          st->m->spe(w).release(st->eng->now());
+        }
+        it = st->pending.erase(it);
+      }
+      // The driver's failure observer ran before this one (it registered
+      // first) and may have queued the re-dispatch while these workers were
+      // still reserved; tell it capacity is back.
+      if (st->release_hook) st->release_hook();
+      return;
+    }
+    loop_reassign(st, spe);
+  });
 
   // Master-side chain: non-loop prologue, fork, serialized Pass sends (each
   // occupying the master for send_per_worker_us), own chunk, then join (in
-  // maybe_finish).  Send completions are at deterministic offsets, so they
-  // are scheduled directly instead of chained.
+  // loop_finish_check).  Send completions are at deterministic offsets, so
+  // they are scheduled directly instead of chained.
   const double send_us = params_.send_per_worker_us;
   const double fork_us = params_.fork_us;
-  auto start_sends = [m, eng, st, loop, maybe_finish, launch_worker, workers,
-                      w_iters, m_iters, master, send_us] {
+  auto start_sends = [st, workers, w_iters, m_iters, send_us] {
     for (std::size_t k = 0; k < workers.size(); ++k) {
       const double depart_us = send_us * static_cast<double>(k + 1);
-      eng->schedule_after(sim::Time::us(depart_us),
-                          [m, eng, launch_worker, master, w = workers[k],
-                           iters = w_iters[k]] {
-        eng->schedule_after(m->pass_latency(master, w),
-                            [launch_worker, w, iters] {
-          launch_worker(w, iters);
+      st->eng->schedule_after(sim::Time::us(depart_us),
+                              [st, w = workers[k], iters = w_iters[k]] {
+        st->eng->schedule_after(st->m->pass_latency(st->master, w),
+                                [st, w, iters] {
+          loop_launch_worker(st, w, iters);
         });
       });
     }
     const double busy_us = send_us * static_cast<double>(workers.size());
-    eng->schedule_after(sim::Time::us(busy_us),
-                        [m, eng, st, loop, maybe_finish, m_iters, master] {
+    st->eng->schedule_after(sim::Time::us(busy_us), [st, m_iters] {
       const double cycles =
-          loop.spe_cycles_per_iter * static_cast<double>(m_iters);
-      m->spe_compute(master, cycles, [st, maybe_finish, eng] {
-        st->master_end = eng->now();
+          st->cycles_per_iter * static_cast<double>(m_iters);
+      st->m->spe_compute(st->master, cycles, [st] {
+        st->master_end = st->eng->now();
         st->master_done = true;
-        maybe_finish();
+        loop_master_drain(st);
       });
     });
   };
 
-  m->spe_compute(master, task.spe_cycles_nonloop, [eng, start_sends, fork_us] {
-    eng->schedule_after(sim::Time::us(fork_us), start_sends);
+  m->spe_compute(master, task.spe_cycles_nonloop, [st, start_sends, fork_us] {
+    st->eng->schedule_after(sim::Time::us(fork_us), start_sends);
   });
 }
 

@@ -12,8 +12,16 @@
 // larger share because workers start late (they must receive the Pass and
 // fetch data first).  A LoopBalancer tunes the master's share from observed
 // idle times across invocations of the same kernel, as the paper describes.
+//
+// Fault tolerance: worker data fetches go through the machine's checked DMA
+// and are retried a bounded number of times; a worker that fail-stops (or
+// whose transfer is permanently lost) has its chunk reassigned to the master,
+// which re-executes the iterations after its own share.  A master fail-stop
+// kills the loop — the runtime driver's offload watchdog recovers the whole
+// task.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -51,6 +59,7 @@ struct LoopParams {
   double fork_us = 1.5;             ///< master loop entry + Pass preparation
   double send_per_worker_us = 0.8;  ///< serialized Pass put per worker
   double join_per_worker_us = 2.0;  ///< completion polling + merge per worker
+  int max_dma_retries = 3;          ///< worker-fetch retries before reassign
 };
 
 class LoopExecutor {
@@ -62,14 +71,35 @@ class LoopExecutor {
   /// reserved by the caller).  Worker SPEs are released as their chunks
   /// complete; the master stays reserved.  `done` fires when the loop and
   /// the reduction are complete on the master (before result commit).
+  /// If the master fail-stops mid-loop, `done` never fires and the caller's
+  /// watchdog must recover.
   void run(int master, std::vector<int> workers, const task::TaskDesc& task,
            LoopBalancer& balancer, std::function<void()> done);
 
   const LoopParams& params() const noexcept { return params_; }
 
+  /// LLP chunks re-executed by a master after a worker was lost.
+  std::uint64_t reassigned_chunks() const noexcept {
+    return reassigned_chunks_;
+  }
+  /// Worker data-fetch retries after transient DMA failures.
+  std::uint64_t dma_retries() const noexcept { return dma_retries_; }
+
+  /// Fires whenever an *abandoned* loop (master fail-stopped) releases an
+  /// SPE.  Such releases happen outside any driver callback, so without
+  /// this hook the driver would never learn that capacity freed up and
+  /// queued off-loads could strand.  Only dead-loop paths invoke it; clean
+  /// runs are unaffected.
+  void set_release_hook(std::function<void()> hook) {
+    release_hook_ = std::move(hook);
+  }
+
  private:
   cell::CellMachine* machine_;
   LoopParams params_;
+  std::uint64_t reassigned_chunks_ = 0;
+  std::uint64_t dma_retries_ = 0;
+  std::function<void()> release_hook_;
 };
 
 }  // namespace cbe::rt

@@ -17,7 +17,24 @@ struct RunResult {
   std::uint64_t ctx_switches = 0;     ///< PPE context switches
   std::uint64_t code_loads = 0;       ///< SPE code DMAs (incl. variant swaps)
   std::uint64_t events = 0;           ///< simulator events processed
-  /// Completion time (seconds) of each bootstrap, in workload order.
+
+  // Fault-injection and recovery counters (zero on fault-free runs).
+  std::uint64_t spe_failures = 0;     ///< SPE fail-stop events applied
+  std::uint64_t stragglers = 0;       ///< SPE derating events applied
+  std::uint64_t dma_faults = 0;       ///< transient DMA failures injected
+  std::uint64_t dma_retries = 0;      ///< DMA retries issued by the runtime
+  std::uint64_t timeouts = 0;         ///< offload watchdog deadline hits
+  std::uint64_t reoffloads = 0;       ///< recovery re-dispatches of a task
+  std::uint64_t loop_reassignments = 0;  ///< LLP chunks absorbed by a master
+  std::uint64_t fault_ppe_fallbacks = 0; ///< recovery-path PPE executions
+  double wasted_cycles = 0.0;         ///< SPE cycles of abandoned attempts
+  /// Bootstraps whose completion required a recovery action (re-offload,
+  /// fault PPE fallback, or blade redistribution in run_cluster).
+  std::uint64_t recovered_bootstraps = 0;
+
+  /// Completion time (seconds) of each bootstrap, in workload order.  A zero
+  /// entry means the bootstrap did not complete (only possible when a blade
+  /// run was truncated by run_cluster's fail-stop model before aggregation).
   std::vector<double> bootstrap_completion_s;
 };
 

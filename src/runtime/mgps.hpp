@@ -35,13 +35,17 @@ class MgpsPolicy final : public SchedulerPolicy {
     return std::min(bootstraps, total_spes);
   }
 
-  int loop_degree(const RuntimeView&, const task::TaskDesc& t) override {
+  int loop_degree(const RuntimeView& view, const task::TaskDesc& t) override {
     if (!t.loop.parallelizable()) return 1;
+    int d = current_degree_;
+    // The pool can shrink between window evaluations (SPE fail-stop, or
+    // siblings grabbing SPEs); never request more participants than are
+    // idle right now.
+    if (view.idle_spes > 0) d = std::min(d, view.idle_spes);
     // Loop-granularity guard (the LLP analogue of the task granularity
     // test): shrink the degree until each SPE's chunk is big enough to
     // amortize the work-sharing protocol's per-worker costs.  Section 5.3
     // observes exactly this — fine loops stop profiting from extra SPEs.
-    int d = current_degree_;
     while (d > 1 &&
            t.loop.total_cycles() / d < static_cast<double>(min_chunk_cycles_)) {
       --d;
@@ -78,20 +82,26 @@ class MgpsPolicy final : public SchedulerPolicy {
 
  private:
   void evaluate(const RuntimeView& view, int u) {
-    if (u <= view.total_spes / 2) {
+    // Fail-stopped SPEs are gone for good: every decision is made against
+    // the surviving pool, so MGPS adapts its degree when faults shrink the
+    // machine mid-run.
+    const int avail = std::max(1, view.total_spes - view.failed_spes);
+    if (u <= avail / 2) {
       const int t = std::max(
           1, std::max(view.waiting_offloads, view.active_processes));
-      const int cells =
-          view.spes_per_cell > 0 ? view.total_spes / view.spes_per_cell : 1;
+      const int cells = std::max(
+          1, view.spes_per_cell > 0 ? view.total_spes / view.spes_per_cell
+                                    : 1);
       // Loops are shared within one Cell (local Pass protocol), so the
       // degree is computed against the local pool, with the waiting tasks
       // spread over the blade's Cells.  The degree is capped at half the
       // local pool: Table 2 shows per-worker overheads erase the gains
       // beyond ~4-5 SPEs per loop, and the paper's own MGPS behaves like
       // the 4-SPE hybrid at low task counts (Figure 8a).
-      const int local = view.spes_per_cell > 0 ? view.spes_per_cell
-                                               : view.total_spes;
-      const int t_local = std::max(1, (t + cells - 1) / std::max(1, cells));
+      const int local_cap = view.spes_per_cell > 0 ? view.spes_per_cell
+                                                   : view.total_spes;
+      const int local = std::max(1, std::min(local_cap, avail / cells));
+      const int t_local = std::max(1, (t + cells - 1) / cells);
       current_degree_ =
           std::clamp(local / t_local, 1, std::max(1, local / 2));
     } else {

@@ -21,6 +21,7 @@ struct RuntimeView {
   int total_spes = 0;
   int spes_per_cell = 0;
   int idle_spes = 0;         ///< idle right now (before this dispatch)
+  int failed_spes = 0;       ///< SPEs lost to fail-stop faults
   int waiting_offloads = 0;  ///< queued dispatches with no SPE available
   int active_processes = 0;  ///< processes that still have work
   int outstanding_tasks = 0; ///< tasks currently resident on SPEs

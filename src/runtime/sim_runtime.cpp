@@ -30,6 +30,16 @@ class Driver {
   RunResult run();
 
  private:
+  /// Shared bookkeeping for one off-load attempt; completion chains and the
+  /// recovery paths (watchdog, fail-stop observer, DMA-retry exhaustion)
+  /// coordinate through it so the attempt is torn down exactly once.
+  struct Attempt {
+    bool closed = false;        ///< outstanding_tasks_ released / decremented
+    bool loop_started = false;  ///< loop_exec_.run was invoked
+    int master = -1;
+    std::vector<int> workers;   ///< reserved loop participants
+  };
+
   struct Proc {
     int pid = -1;
     int cell = 0;
@@ -38,6 +48,10 @@ class Driver {
     std::size_t pc = 0;
     bool finished = false;
     int last_spe = -1;  ///< SPE affinity: reuse keeps code resident
+    std::uint64_t attempt = 0;  ///< generation: stale completions compare it
+    int retries = 0;            ///< recovery re-offloads of the current task
+    sim::EventId watchdog;
+    std::shared_ptr<Attempt> att;  ///< current (latest) attempt, if any
   };
   // Granularity accounting (Section 5.2): the first few off-loads of each
   // kernel class are profiled against the t_spe + t_code + 2 t_comm < t_ppe
@@ -66,6 +80,7 @@ class Driver {
     v.total_spes = machine_.num_spes();
     v.spes_per_cell = cfg_.cell.spes_per_cell;
     v.idle_spes = machine_.count_idle_spes();
+    v.failed_spes = machine_.failed_spes();
     v.waiting_offloads = static_cast<int>(wait_queue_.size());
     v.active_processes = active_processes_;
     v.outstanding_tasks = outstanding_tasks_;
@@ -77,12 +92,28 @@ class Driver {
   void run_segment(int pid);
   void dispatch(int pid);
   void begin_offload(int pid, const std::vector<int>& idle, bool from_queue);
-  void on_task_done(int pid);
+  void on_task_done(int pid, std::uint64_t attempt_id);
   void after_ppe_task(int pid);
   void resume(int pid);
   void serve_wait_queue();
   void prefer_affine_spe(const Proc& p, std::vector<int>& idle);
   void arm_timer();
+
+  // -- Fault handling ------------------------------------------------------
+  void setup_faults();
+  void on_spe_failure(int spe);
+  void on_watchdog(int pid, std::uint64_t attempt_id);
+  void abandon_attempt(int pid, std::uint64_t attempt_id,
+                       const std::shared_ptr<Attempt>& att);
+  void redispatch(int pid);
+  void ppe_recover(int pid);
+  void rescue_wait_queue();
+  void task_dma(int pid, std::uint64_t attempt_id,
+                const std::shared_ptr<Attempt>& att, int spe, double bytes,
+                int chunks, int tries, std::function<void()> done);
+  void mark_recovered(int bootstrap) {
+    recovered_.at(static_cast<std::size_t>(bootstrap)) = 1;
+  }
 
   const task::Workload& wl_;
   SchedulerPolicy& policy_;
@@ -102,13 +133,19 @@ class Driver {
   sim::EventId timer_event_;
   double degree_sum_ = 0.0;
   RunResult res_;
+
+  sim::FaultPlan fault_plan_;
+  bool faults_on_ = false;
+  std::vector<char> recovered_;  ///< per-bootstrap: completion needed recovery
 };
 
 RunResult Driver::run() {
   const int b = static_cast<int>(wl_.size());
   if (b == 0) return res_;
   res_.bootstrap_completion_s.assign(static_cast<std::size_t>(b), 0.0);
+  recovered_.assign(static_cast<std::size_t>(b), 0);
   for (int i = 0; i < b; ++i) bootstrap_queue_.push_back(i);
+  setup_faults();
 
   const int workers = std::max(
       1, std::min(policy_.worker_count(b, machine_.num_spes()),
@@ -142,7 +179,53 @@ RunResult Driver::run() {
     res_.code_loads += machine_.spe(s).code_loads();
   }
   res_.events = eng_.events_processed();
+
+  const cell::FaultStats& fs = machine_.fault_stats();
+  res_.spe_failures = fs.spe_failures;
+  res_.stragglers = fs.stragglers;
+  res_.dma_faults = fs.dma_faults;
+  res_.dma_retries += loop_exec_.dma_retries();
+  res_.loop_reassignments = loop_exec_.reassigned_chunks();
+  for (char r : recovered_) res_.recovered_bootstraps += (r != 0);
   return res_;
+}
+
+void Driver::setup_faults() {
+  sim::FaultConfig fc = cfg_.fault;
+  if (fc.horizon == sim::Time()) {
+    // Scale event placement to the workload: a rough fault-free makespan
+    // estimate (aggregate SPE demand over the pool, plus the PPE stream over
+    // two contexts) keeps a given rate comparable across workload sizes.
+    double spe_cycles = 0.0;
+    double ppe_cycles = 0.0;
+    for (const auto& bs : wl_.bootstraps) {
+      for (const auto& seg : bs.segments) {
+        spe_cycles += seg.task.spe_cycles_total();
+        ppe_cycles += seg.ppe_burst_cycles;
+      }
+    }
+    const auto pool = static_cast<double>(
+        std::max(1, std::min(machine_.num_spes(),
+                             static_cast<int>(wl_.size()))));
+    fc.horizon =
+        sim::cycles_to_time(spe_cycles / pool + ppe_cycles / 2.0, clock());
+    if (fc.horizon == sim::Time()) fc.horizon = sim::Time::ms(10.0);
+  }
+  if (!cfg_.fault_script.empty()) {
+    fault_plan_ = sim::FaultPlan::from_script(cfg_.fault_script, fc);
+    faults_on_ = true;
+  } else if (fc.enabled()) {
+    fault_plan_ = sim::FaultPlan::from_config(fc, machine_.num_spes());
+    faults_on_ = true;
+  }
+  if (faults_on_) {
+    machine_.install_faults(fault_plan_);
+    machine_.add_fault_observer([this](int spe) { on_spe_failure(spe); });
+    // Abandoned loops release their surviving workers outside any driver
+    // callback; without this hook a re-dispatch queued during the teardown
+    // would strand even though SPEs are idle.
+    loop_exec_.set_release_hook([this] { serve_wait_queue(); });
+  }
 }
 
 void Driver::arm_timer() {
@@ -158,7 +241,12 @@ void Driver::next_bootstrap(int pid) {
   if (bootstrap_queue_.empty()) {
     p.finished = true;
     --active_processes_;
-    if (active_processes_ == 0) eng_.cancel(timer_event_);
+    if (active_processes_ == 0) {
+      eng_.cancel(timer_event_);
+      // Unfired fault events must not keep the drained simulation alive
+      // (and inflate the makespan past the last completion).
+      machine_.cancel_pending_faults();
+    }
     return;
   }
   p.bootstrap = bootstrap_queue_.front();
@@ -169,6 +257,7 @@ void Driver::next_bootstrap(int pid) {
 
 void Driver::run_segment(int pid) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  p.retries = 0;  // recovery budget is per task
   const auto& trace =
       wl_.bootstraps[static_cast<std::size_t>(p.bootstrap)];
   if (p.pc >= trace.segments.size()) {
@@ -195,6 +284,13 @@ void Driver::dispatch(int pid) {
     ++res_.ppe_fallbacks;
     ppe(p).compute(p.ppe_pid, t.ppe_cycles,
                    [this, pid] { after_ppe_task(pid); });
+    return;
+  }
+
+  if (faults_on_ && machine_.healthy_spes() == 0) {
+    // The whole pool fail-stopped: queueing would wait forever for a
+    // departure that cannot come.  Fall back to the PPE.
+    ppe_recover(pid);
     return;
   }
 
@@ -304,29 +400,57 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
                 static_cast<std::size_t>(t.dma_out_bytes));
   const task::TaskDesc* tp = &t;  // workload outlives the run
 
-  auto after_compute = [this, pid, master, tp, chunks_out] {
-    machine_.dma(master, tp->dma_out_bytes, chunks_out,
-                 [this, pid, master] {
+  std::shared_ptr<Attempt> att;
+  std::uint64_t attempt_id = 0;
+  if (faults_on_) {
+    att = std::make_shared<Attempt>();
+    att->master = master;
+    att->workers = workers;
+    p.att = att;
+    attempt_id = ++p.attempt;
+    // Deadline: a generous multiple of the intrinsic off-load cost — the
+    // same quantities the granularity test reasons about.  A straggling or
+    // silently stuck attempt past this point is superseded and re-issued.
+    const sim::Time t_spe = sim::cycles_to_time(t.spe_cycles_total(), clock());
+    const sim::Time t_code = machine_.code_load_time(t.module_id, variant);
+    const sim::Time t_dma =
+        machine_.solo_dma_time(t.dma_in_bytes + t.dma_out_bytes, 2);
+    sim::Time deadline =
+        cfg_.watchdog_factor *
+        (t_spe + t_code + t_dma + 2.0 * machine_.signal_latency(master));
+    if (deadline < sim::Time::us(50.0)) deadline = sim::Time::us(50.0);
+    p.watchdog = eng_.schedule_after(deadline, [this, pid, attempt_id] {
+      on_watchdog(pid, attempt_id);
+    });
+  }
+
+  auto after_compute = [this, pid, master, tp, chunks_out, att, attempt_id] {
+    task_dma(pid, attempt_id, att, master, tp->dma_out_bytes, chunks_out, 0,
+             [this, pid, master, att, attempt_id] {
       machine_.spe(master).release(eng_.now());
       --outstanding_tasks_;
-      machine_.signal(master, [this, pid] { on_task_done(pid); });
+      if (att) att->closed = true;
+      machine_.signal(master, [this, pid, attempt_id] {
+        on_task_done(pid, attempt_id);
+      });
     });
   };
 
   machine_.signal(master, [this, master, tp, variant, chunks_in, d, pid,
                            workers = std::move(workers), after_compute,
-                           kind]() mutable {
+                           kind, att, attempt_id]() mutable {
     machine_.ensure_module(master, tp->module_id, variant,
-                           [this, master, tp, chunks_in, d,
+                           [this, master, tp, chunks_in, d, pid,
                             workers = std::move(workers), after_compute,
-                            kind]() mutable {
-      machine_.dma(master, tp->dma_in_bytes, chunks_in,
-                   [this, master, tp, d, workers = std::move(workers),
-                    after_compute, kind]() mutable {
+                            kind, att, attempt_id]() mutable {
+      task_dma(pid, attempt_id, att, master, tp->dma_in_bytes, chunks_in, 0,
+               [this, master, tp, d, workers = std::move(workers),
+                after_compute, kind, att]() mutable {
         if (d == 1) {
           machine_.spe_compute(master, tp->spe_cycles_total(),
                                after_compute);
         } else {
+          if (att) att->loop_started = true;
           loop_exec_.run(master, std::move(workers), *tp, balancers_[kind],
                          after_compute);
         }
@@ -338,8 +462,18 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
   // Spin-wait policies keep the context until on_task_done resumes them.
 }
 
-void Driver::on_task_done(int pid) {
+void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  if (faults_on_) {
+    if (attempt_id != p.attempt) {
+      // Superseded attempt finishing late (straggler): the chain already
+      // freed its SPE; let waiting dispatches have it and drop the result.
+      serve_wait_queue();
+      return;
+    }
+    eng_.cancel(p.watchdog);
+    p.att.reset();
+  }
   policy_.on_departure(view(), pid);
   serve_wait_queue();
 
@@ -400,6 +534,161 @@ void Driver::prefer_affine_spe(const Proc& p, std::vector<int>& idle) {
   if (it != idle.end() && it != idle.begin()) std::iter_swap(idle.begin(), it);
 }
 
+void Driver::task_dma(int pid, std::uint64_t attempt_id,
+                      const std::shared_ptr<Attempt>& att, int spe,
+                      double bytes, int chunks, int tries,
+                      std::function<void()> done) {
+  machine_.dma_checked(spe, bytes, chunks,
+                       [this, pid, attempt_id, att, spe, bytes, chunks, tries,
+                        done = std::move(done)](bool ok) mutable {
+    if (ok) {
+      done();
+      return;
+    }
+    if (tries < cfg_.loop.max_dma_retries) {
+      ++res_.dma_retries;
+      task_dma(pid, attempt_id, att, spe, bytes, chunks, tries + 1,
+               std::move(done));
+      return;
+    }
+    // Transfer permanently lost: tear the attempt down and recover.
+    abandon_attempt(pid, attempt_id, att);
+  });
+}
+
+void Driver::abandon_attempt(int pid, std::uint64_t attempt_id,
+                             const std::shared_ptr<Attempt>& att) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  if (!att || att->closed) return;
+  att->closed = true;
+  --outstanding_tasks_;
+  if (machine_.spe(att->master).usable() &&
+      !machine_.spe(att->master).idle()) {
+    machine_.spe(att->master).release(eng_.now());
+  }
+  if (!att->loop_started) {
+    // Reserved loop participants whose chains never started; started
+    // workers free themselves (or the loop's fault hook does).
+    for (int w : att->workers) {
+      if (machine_.spe(w).usable() && !machine_.spe(w).idle()) {
+        machine_.spe(w).release(eng_.now());
+      }
+    }
+  }
+  if (attempt_id != p.attempt || p.finished) {
+    // A superseded attempt cleaning up after itself; the live attempt (or
+    // the PPE fallback) already owns the task.
+    serve_wait_queue();
+    return;
+  }
+  res_.wasted_cycles += segment(p).task.spe_cycles_total();
+  eng_.cancel(p.watchdog);
+  mark_recovered(p.bootstrap);
+  ++p.attempt;
+  ++p.retries;
+  redispatch(pid);
+  serve_wait_queue();
+}
+
+void Driver::on_watchdog(int pid, std::uint64_t attempt_id) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  if (p.finished || attempt_id != p.attempt || !p.att) return;
+  ++res_.timeouts;
+  res_.wasted_cycles += segment(p).task.spe_cycles_total();
+  mark_recovered(p.bootstrap);
+  std::shared_ptr<Attempt> att = p.att;
+  if (!machine_.spe(att->master).usable() && !att->closed) {
+    // Master fail-stop the observer did not tear down; do it here.
+    att->closed = true;
+    --outstanding_tasks_;
+    if (!att->loop_started) {
+      for (int w : att->workers) {
+        if (machine_.spe(w).usable() && !machine_.spe(w).idle()) {
+          machine_.spe(w).release(eng_.now());
+        }
+      }
+    }
+  }
+  // A live-but-slow chain (straggler, DMA storm) still owns its SPEs and
+  // frees them itself on completion; it is superseded, not torn down.
+  ++p.attempt;
+  ++p.retries;
+  redispatch(pid);
+}
+
+void Driver::on_spe_failure(int spe) {
+  // Fast-path fail-stop recovery: a live attempt whose master died is torn
+  // down and re-issued immediately instead of waiting for its watchdog.
+  for (Proc& p : procs_) {
+    if (p.finished || !p.att || p.att->closed || p.att->master != spe) {
+      continue;
+    }
+    std::shared_ptr<Attempt> att = p.att;
+    att->closed = true;
+    --outstanding_tasks_;
+    if (!att->loop_started) {
+      for (int w : att->workers) {
+        if (machine_.spe(w).usable() && !machine_.spe(w).idle()) {
+          machine_.spe(w).release(eng_.now());
+        }
+      }
+    }
+    res_.wasted_cycles += segment(p).task.spe_cycles_total();
+    eng_.cancel(p.watchdog);
+    mark_recovered(p.bootstrap);
+    ++p.attempt;
+    ++p.retries;
+    redispatch(p.pid);
+  }
+  if (machine_.healthy_spes() == 0) rescue_wait_queue();
+  serve_wait_queue();
+}
+
+void Driver::redispatch(int pid) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  ++res_.reoffloads;
+  if (p.retries > cfg_.max_task_retries || machine_.healthy_spes() == 0) {
+    ppe_recover(pid);
+    return;
+  }
+  std::vector<int> idle = machine_.idle_spes(p.cell);
+  if (idle.empty()) {
+    wait_queue_.push_back(pid);
+    return;
+  }
+  prefer_affine_spe(p, idle);
+  begin_offload(pid, idle, /*from_queue=*/true);
+}
+
+void Driver::ppe_recover(int pid) {
+  // Always-correct fallback: execute the PPE version of the task, as the
+  // granularity test's demotion path does, but driven by fault recovery.
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  ++res_.fault_ppe_fallbacks;
+  mark_recovered(p.bootstrap);
+  p.att.reset();
+  if (ppe(p).holds_context(p.ppe_pid)) {
+    ppe(p).compute(p.ppe_pid, segment(p).task.ppe_cycles,
+                   [this, pid] { after_ppe_task(pid); });
+    return;
+  }
+  ppe(p).request(p.ppe_pid, [this, pid] {
+    Proc& q = procs_[static_cast<std::size_t>(pid)];
+    ppe(q).compute(q.ppe_pid, segment(q).task.ppe_cycles,
+                   [this, pid] { after_ppe_task(pid); });
+  });
+}
+
+void Driver::rescue_wait_queue() {
+  // With zero healthy SPEs, no departure will ever serve the queue: every
+  // queued dispatch goes to the PPE.
+  while (!wait_queue_.empty()) {
+    const int pid = wait_queue_.front();
+    wait_queue_.pop_front();
+    ppe_recover(pid);
+  }
+}
+
 }  // namespace
 
 RunResult run_workload(const task::Workload& wl, SchedulerPolicy& policy,
@@ -413,17 +702,22 @@ RunResult run_cluster(const task::Workload& wl,
                           make_policy,
                       int blades, const RunConfig& cfg) {
   blades = std::max(blades, 1);
-  std::vector<task::Workload> shards(static_cast<std::size_t>(blades));
+  struct Shard {
+    task::Workload wl;
+    std::vector<std::size_t> orig;  ///< workload index of each bootstrap
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(blades));
   for (std::size_t i = 0; i < wl.bootstraps.size(); ++i) {
-    shards[i % static_cast<std::size_t>(blades)].bootstraps.push_back(
-        wl.bootstraps[i]);
+    Shard& s = shards[i % static_cast<std::size_t>(blades)];
+    s.wl.bootstraps.push_back(wl.bootstraps[i]);
+    s.orig.push_back(i);
   }
+
   RunResult total;
-  for (auto& shard : shards) {
-    if (shard.bootstraps.empty()) continue;
-    auto policy = make_policy();
-    const RunResult r = run_workload(shard, *policy, cfg);
-    total.makespan_s = std::max(total.makespan_s, r.makespan_s);
+  total.bootstrap_completion_s.assign(wl.bootstraps.size(), 0.0);
+  int runs = 0;
+  auto accumulate = [&total, &runs](const RunResult& r) {
+    ++runs;
     total.offloads += r.offloads;
     total.ppe_fallbacks += r.ppe_fallbacks;
     total.loop_splits += r.loop_splits;
@@ -431,15 +725,114 @@ RunResult run_cluster(const task::Workload& wl,
     total.code_loads += r.code_loads;
     total.events += r.events;
     total.mean_spe_utilization += r.mean_spe_utilization;
-    total.mean_loop_degree += r.mean_loop_degree * static_cast<double>(
-        r.offloads);
+    total.mean_loop_degree +=
+        r.mean_loop_degree * static_cast<double>(r.offloads);
+    total.spe_failures += r.spe_failures;
+    total.stragglers += r.stragglers;
+    total.dma_faults += r.dma_faults;
+    total.dma_retries += r.dma_retries;
+    total.timeouts += r.timeouts;
+    total.reoffloads += r.reoffloads;
+    total.loop_reassignments += r.loop_reassignments;
+    total.fault_ppe_fallbacks += r.fault_ppe_fallbacks;
+    total.wasted_cycles += r.wasted_cycles;
+    total.recovered_bootstraps += r.recovered_bootstraps;
+  };
+
+  // Per-blade seed salting keeps blades' fault draws independent while the
+  // cluster as a whole replays bit-identically from one seed.
+  auto blade_cfg = [&cfg](std::size_t salt) {
+    RunConfig c = cfg;
+    c.fault.seed = cfg.fault.seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+    return c;
+  };
+
+  // Whole-blade fail-stop decisions (deterministic in the seed).  A failed
+  // blade stops at a truncation point T_b inside its run; bootstraps that
+  // completed by then are checkpointed, the rest are redistributed over the
+  // surviving blades in a second phase.
+  constexpr std::uint64_t kBladeSalt = 0x424c414445464c54ull;
+  const double blade_rate = cfg.fault.blade_fail_rate;
+  std::vector<bool> failed(shards.size(), false);
+  bool any_used = false;
+  bool any_survivor = false;
+  for (std::size_t b = 0; b < shards.size(); ++b) {
+    if (shards[b].wl.bootstraps.empty()) continue;
+    any_used = true;
+    failed[b] = blade_rate > 0.0 &&
+                sim::fault_hash01(cfg.fault.seed, kBladeSalt + 2 * b) <
+                    blade_rate;
+    if (!failed[b]) any_survivor = true;
   }
-  const auto used = static_cast<double>(
-      std::count_if(shards.begin(), shards.end(),
-                    [](const task::Workload& s) {
-                      return !s.bootstraps.empty();
-                    }));
-  if (used > 0) total.mean_spe_utilization /= used;
+  if (any_used && !any_survivor) {
+    // Every blade failing leaves nobody to recover the work; keep the first
+    // populated blade alive (in practice the job restarts from scratch).
+    for (std::size_t b = 0; b < shards.size(); ++b) {
+      if (!shards[b].wl.bootstraps.empty()) {
+        failed[b] = false;
+        break;
+      }
+    }
+  }
+
+  double phase1_end = 0.0;
+  std::vector<std::size_t> leftovers;
+  std::vector<std::size_t> survivors;
+  for (std::size_t b = 0; b < shards.size(); ++b) {
+    if (shards[b].wl.bootstraps.empty()) continue;
+    auto policy = make_policy();
+    const RunResult r = run_workload(shards[b].wl, *policy, blade_cfg(b));
+    accumulate(r);
+    if (!failed[b]) {
+      survivors.push_back(b);
+      phase1_end = std::max(phase1_end, r.makespan_s);
+      for (std::size_t j = 0; j < shards[b].orig.size(); ++j) {
+        total.bootstrap_completion_s[shards[b].orig[j]] =
+            r.bootstrap_completion_s[j];
+      }
+      continue;
+    }
+    const double u =
+        sim::fault_hash01(cfg.fault.seed, kBladeSalt + 2 * b + 1);
+    const double t_b = (0.25 + 0.5 * u) * r.makespan_s;
+    phase1_end = std::max(phase1_end, t_b);
+    for (std::size_t j = 0; j < shards[b].orig.size(); ++j) {
+      const double c = r.bootstrap_completion_s[j];
+      if (c > 0.0 && c <= t_b) {
+        total.bootstrap_completion_s[shards[b].orig[j]] = c;
+      } else {
+        leftovers.push_back(shards[b].orig[j]);
+      }
+    }
+  }
+
+  total.makespan_s = phase1_end;
+  if (!leftovers.empty() && !survivors.empty()) {
+    std::vector<Shard> extra(survivors.size());
+    for (std::size_t k = 0; k < leftovers.size(); ++k) {
+      Shard& s = extra[k % extra.size()];
+      s.wl.bootstraps.push_back(wl.bootstraps[leftovers[k]]);
+      s.orig.push_back(leftovers[k]);
+    }
+    double phase2 = 0.0;
+    for (std::size_t k = 0; k < extra.size(); ++k) {
+      if (extra[k].wl.bootstraps.empty()) continue;
+      auto policy = make_policy();
+      const RunResult r =
+          run_workload(extra[k].wl, *policy,
+                       blade_cfg(shards.size() + survivors[k]));
+      accumulate(r);
+      phase2 = std::max(phase2, r.makespan_s);
+      for (std::size_t j = 0; j < extra[k].orig.size(); ++j) {
+        total.bootstrap_completion_s[extra[k].orig[j]] =
+            phase1_end + r.bootstrap_completion_s[j];
+      }
+    }
+    total.makespan_s = phase1_end + phase2;
+    total.recovered_bootstraps += leftovers.size();
+  }
+
+  if (runs > 0) total.mean_spe_utilization /= static_cast<double>(runs);
   if (total.offloads > 0) {
     total.mean_loop_degree /= static_cast<double>(total.offloads);
   }

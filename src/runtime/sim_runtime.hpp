@@ -8,10 +8,13 @@
 #include <functional>
 #include <memory>
 
+#include <vector>
+
 #include "cellsim/params.hpp"
 #include "runtime/loop_executor.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/policy.hpp"
+#include "sim/fault.hpp"
 #include "task/task.hpp"
 
 namespace cbe::rt {
@@ -34,6 +37,23 @@ struct RunConfig {
   /// multi-gene alignments (the paper's 51,089-nucleotide mammal data)
   /// *require* LLP for this reason, independent of idle-SPE counts.
   bool ls_aware = true;
+
+  // -- Fault injection (see DESIGN.md "Fault model") -----------------------
+  /// Seeded random fault plan; disabled when all rates are zero.  When
+  /// `fault.horizon` is zero the driver derives one from the workload's
+  /// fault-free compute demand so rates are comparable across workloads.
+  sim::FaultConfig fault;
+  /// Explicit fault script (deterministic tests); overrides `fault`'s rates
+  /// but still uses `fault.seed` for the DMA oracle and `run_cluster`'s
+  /// blade decisions.  Non-empty enables fault handling.
+  std::vector<sim::FaultEvent> fault_script;
+  /// Offload watchdog deadline as a multiple of the task's intrinsic
+  /// off-load cost (t_spe + t_code + t_dma + 2 t_comm).  Watchdogs are only
+  /// armed when fault injection is enabled.
+  double watchdog_factor = 4.0;
+  /// Re-offload attempts after a watchdog timeout before the task is
+  /// executed on the PPE (always-correct fallback).
+  int max_task_retries = 2;
 };
 
 /// Runs `wl` to completion under `policy`; deterministic for a given

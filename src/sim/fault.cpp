@@ -1,0 +1,80 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace cbe::sim {
+
+namespace {
+
+// Domain-separation salts so the fail-stop, straggler and DMA streams are
+// independent functions of the seed.
+constexpr std::uint64_t kFailSalt = 0x46414c4c53544f50ull;   // "FAILSTOP"
+constexpr std::uint64_t kStragSalt = 0x5354524147474c45ull;  // "STRAGGLE"
+constexpr std::uint64_t kDmaSalt = 0x444d414641554c54ull;    // "DMAFAULT"
+
+Time event_time(double u, Time horizon) {
+  // Faults land mid-run: uniformly inside (0.1, 0.9) of the horizon so a
+  // fail-stop neither precedes the first dispatch nor outlives the work.
+  return horizon * (0.1 + 0.8 * u);
+}
+
+}  // namespace
+
+double fault_hash01(std::uint64_t seed, std::uint64_t salt) noexcept {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ull);
+  const std::uint64_t x = util::splitmix64(state);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+FaultPlan FaultPlan::from_config(const FaultConfig& cfg, int nodes) {
+  FaultPlan plan;
+  plan.cfg_ = cfg;
+  const Time horizon =
+      cfg.horizon > Time() ? cfg.horizon : Time::ms(10.0);
+  for (int n = 0; n < nodes; ++n) {
+    const auto id = static_cast<std::uint64_t>(n);
+    if (cfg.spe_fail_rate > 0.0 &&
+        fault_hash01(cfg.seed, kFailSalt + id * 2) < cfg.spe_fail_rate) {
+      plan.events_.push_back(
+          {event_time(fault_hash01(cfg.seed, kFailSalt + id * 2 + 1),
+                      horizon),
+           FaultKind::FailStop, n, 0.0});
+      continue;  // a dead node cannot also straggle
+    }
+    if (cfg.straggler_rate > 0.0 &&
+        fault_hash01(cfg.seed, kStragSalt + id * 2) < cfg.straggler_rate) {
+      plan.events_.push_back(
+          {event_time(fault_hash01(cfg.seed, kStragSalt + id * 2 + 1),
+                      horizon),
+           FaultKind::Degrade, n,
+           std::clamp(cfg.straggler_factor, 0.01, 1.0)});
+    }
+  }
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::from_script(std::vector<FaultEvent> events,
+                                 FaultConfig base) {
+  FaultPlan plan;
+  plan.cfg_ = base;
+  plan.events_ = std::move(events);
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+bool FaultPlan::dma_fails(std::uint64_t transfer_index) const noexcept {
+  if (cfg_.dma_fail_rate <= 0.0) return false;
+  return fault_hash01(cfg_.seed, kDmaSalt + transfer_index) <
+         cfg_.dma_fail_rate;
+}
+
+}  // namespace cbe::sim

@@ -1,0 +1,89 @@
+// Deterministic, seeded fault injection for the discrete-event machine
+// model.
+//
+// A FaultPlan is a pure function of (seed, rates, node count): it yields a
+// fixed schedule of node-level fault events (fail-stop, straggler derating)
+// plus a stateless per-transfer oracle for transient DMA failures.  The same
+// seed therefore produces a bit-identical replay of every fault, which is
+// what makes degradation experiments and recovery tests reproducible.
+//
+// The plan speaks in abstract node ids so this layer stays independent of
+// the Cell model; cellsim interprets nodes as SPEs and the cluster wrapper
+// interprets a separate rate as whole-blade fail-stop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cbe::sim {
+
+enum class FaultKind : std::uint8_t {
+  FailStop,  ///< node halts permanently; in-flight work on it is lost
+  Degrade,   ///< node's clock silently drops to `factor` of nominal
+};
+
+struct FaultEvent {
+  Time at;
+  FaultKind kind = FaultKind::FailStop;
+  int node = 0;
+  double factor = 1.0;  ///< clock fraction for Degrade; ignored for FailStop
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  /// Probability that a given node fail-stops during the horizon.
+  double spe_fail_rate = 0.0;
+  /// Per-transfer probability of a transient DMA failure.
+  double dma_fail_rate = 0.0;
+  /// Probability that a given node is derated (straggler) during the run.
+  double straggler_rate = 0.0;
+  /// Clock fraction a straggler drops to.
+  double straggler_factor = 0.3;
+  /// Events are drawn uniformly inside (0.1, 0.9) x horizon.  Zero lets the
+  /// runtime substitute its own estimate of the workload span.
+  Time horizon;
+  /// Probability that a whole blade fail-stops (run_cluster only).
+  double blade_fail_rate = 0.0;
+
+  bool enabled() const noexcept {
+    return spe_fail_rate > 0.0 || dma_fail_rate > 0.0 ||
+           straggler_rate > 0.0 || blade_fail_rate > 0.0;
+  }
+};
+
+class FaultPlan {
+ public:
+  /// Empty plan: injects nothing.
+  FaultPlan() = default;
+
+  /// Draws a deterministic event schedule for `nodes` nodes from the seed.
+  static FaultPlan from_config(const FaultConfig& cfg, int nodes);
+  /// Uses an explicit event script; `base` still supplies the DMA oracle's
+  /// seed and rate.
+  static FaultPlan from_script(std::vector<FaultEvent> events,
+                               FaultConfig base = {});
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  const FaultConfig& config() const noexcept { return cfg_; }
+
+  /// Stateless oracle: does the `transfer_index`-th checked DMA fail?
+  /// Hash-based so the answer depends only on (seed, index), never on call
+  /// order elsewhere in the simulation.
+  bool dma_fails(std::uint64_t transfer_index) const noexcept;
+
+  bool empty() const noexcept {
+    return events_.empty() && cfg_.dma_fail_rate <= 0.0;
+  }
+
+ private:
+  FaultConfig cfg_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Deterministic uniform [0,1) draw from a (seed, salt) pair; shared by the
+/// plan builder and run_cluster's blade fail-stop decisions.
+double fault_hash01(std::uint64_t seed, std::uint64_t salt) noexcept;
+
+}  // namespace cbe::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -99,6 +100,98 @@ TEST(OffloadPool, NestedParallelForDoesNotDeadlock) {
   }
   for (auto& f : futs) f.get();
   EXPECT_EQ(done.load(), 8);
+}
+
+TEST(OffloadPool, ParallelForRethrowsBodyException) {
+  OffloadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&ran](std::int64_t lo, std::int64_t) {
+                          if (lo >= 512) throw std::runtime_error("mid-loop");
+                          ++ran;
+                        },
+                        4, 16),
+      std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // The pool must stay fully usable after a failed loop.
+  auto f = pool.offload_result([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 100, [&ok](std::int64_t lo, std::int64_t hi) {
+    ok.fetch_add(static_cast<int>(hi - lo));
+  }, 4, 8);
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(OffloadPool, ParallelForExceptionWithOversubscribedDegree) {
+  // degree > workers + 1 queues helpers that may never start; an error must
+  // still unwind without waiting on them.
+  OffloadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 64,
+                        [](std::int64_t, std::int64_t) {
+                          throw std::logic_error("always");
+                        },
+                        8, 4),
+      std::logic_error);
+}
+
+TEST(OffloadPool, OffloadWithRetrySucceedsAfterTransientFailures) {
+  OffloadPool pool(2);
+  std::atomic<int> attempts{0};
+  auto f = pool.offload_with_retry(
+      [&attempts] {
+        if (attempts.fetch_add(1) < 2) throw std::runtime_error("transient");
+      },
+      /*max_retries=*/3, std::chrono::microseconds(1));
+  EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(pool.retries(), 2u);
+}
+
+TEST(OffloadPool, OffloadWithRetryGivesUpAndCarriesLastError) {
+  OffloadPool pool(1);
+  std::atomic<int> attempts{0};
+  auto f = pool.offload_with_retry(
+      [&attempts] {
+        ++attempts;
+        throw std::runtime_error("permanent");
+      },
+      /*max_retries=*/2, std::chrono::microseconds(1));
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_EQ(attempts.load(), 3);  // 1 try + 2 retries
+  EXPECT_EQ(pool.retries(), 2u);
+}
+
+TEST(OffloadPool, DeadlineWatchdogFiresOnSlowTask) {
+  OffloadPool pool(1);
+  std::atomic<bool> timed_out{false};
+  // The task outlives its deadline by construction: it blocks until the
+  // watchdog has fired (with a generous escape hatch against a wedged
+  // watchdog, which the assertion below would then report).
+  auto f = pool.offload_with_deadline(
+      [&timed_out] {
+        for (int i = 0; i < 2000 && !timed_out.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      std::chrono::microseconds(2000),
+      [&timed_out] { timed_out = true; });
+  f.get();
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_EQ(pool.deadline_misses(), 1u);
+}
+
+TEST(OffloadPool, DeadlineWatchdogQuietOnFastTask) {
+  OffloadPool pool(1);
+  std::atomic<bool> timed_out{false};
+  auto f = pool.offload_with_deadline(
+      [] {}, std::chrono::milliseconds(500),
+      [&timed_out] { timed_out = true; });
+  f.get();
+  EXPECT_FALSE(timed_out.load());
+  EXPECT_EQ(pool.deadline_misses(), 0u);
 }
 
 TEST(OffloadPool, ManySmallTasksStress) {

@@ -143,6 +143,48 @@ TEST(Mgps, TimerFallbackAdapts) {
   EXPECT_GT(p.current_degree(), 1);
 }
 
+TEST(Mgps, TimerWithEmptyHistoryAndIdleMachineIsSafe) {
+  MgpsPolicy p;
+  // Nothing has off-loaded yet: the window is empty and no process is live.
+  // U degenerates to 0 and T clamps to 1; the evaluation must not divide by
+  // zero or go out of range, and lands on the capped full-pool degree.
+  p.on_timer(view(8, 8, 0, /*active=*/0));
+  EXPECT_EQ(p.current_degree(), 4);
+}
+
+TEST(Mgps, TimerWithSaturatedMachineStaysSequential) {
+  MgpsPolicy p;
+  p.on_timer(view(8, 0, 2, /*active=*/8));
+  EXPECT_EQ(p.current_degree(), 1);
+}
+
+TEST(Mgps, FailedSpesShrinkDegree) {
+  MgpsPolicy p;
+  RuntimeView v = view(8, 5, 0, /*active=*/1);
+  v.failed_spes = 2;
+  // Surviving pool = 6: U = 1 <= 3 keeps LLP on, degree = clamp(6, 1, 3).
+  p.on_timer(v);
+  EXPECT_EQ(p.current_degree(), 3);
+}
+
+TEST(Mgps, MostlyFailedPoolDegeneratesToSequential) {
+  MgpsPolicy p;
+  RuntimeView v = view(8, 1, 0, /*active=*/1);
+  v.failed_spes = 6;
+  p.on_timer(v);
+  EXPECT_EQ(p.current_degree(), 1);
+}
+
+TEST(Mgps, LoopDegreeClampedByIdleSpes) {
+  MgpsPolicy p;
+  for (int i = 0; i < 8; ++i) p.on_departure(view(8, 6, 0, 2), i % 2);
+  ASSERT_EQ(p.current_degree(), 4);
+  // The pool shrank since the window evaluation: only 2 SPEs are idle now.
+  EXPECT_EQ(p.loop_degree(view(8, /*idle=*/2), loop_task()), 2);
+  // Queued dispatches (no SPE idle) keep the evaluated degree for later.
+  EXPECT_EQ(p.loop_degree(view(8, /*idle=*/0), loop_task()), 4);
+}
+
 TEST(Mgps, WorkerCountLikeEdtlp) {
   MgpsPolicy p;
   EXPECT_EQ(p.worker_count(3, 8), 3);
