@@ -2,6 +2,7 @@
 // workload settings, paper reference values, and run helpers.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -9,10 +10,43 @@
 #include "runtime/policy.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "task/synthetic.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace cbe::bench {
+
+/// Opt-in per-run metrics export: `--metrics=<file>` attaches one shared
+/// registry to every RunConfig passed through attach() and writes the
+/// aggregated metrics JSON at scope exit (counters and histograms accumulate
+/// across runs; gauges keep the last run's value).  Without the flag,
+/// attach() is a no-op and nothing is written.  With CBE_TRACE=OFF builds
+/// the runtime ignores the registry and the JSON comes out empty.
+class MetricsExport {
+ public:
+  explicit MetricsExport(const util::Cli& cli)
+      : path_(cli.get("metrics", "")) {}
+  ~MetricsExport() {
+    if (path_.empty()) return;
+    if (trace::write_file(path_, registry_.to_json())) {
+      std::fprintf(stderr, "metrics: wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", path_.c_str());
+    }
+  }
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+
+  void attach(rt::RunConfig& cfg) {
+    if (!path_.empty()) cfg.metrics = &registry_;
+  }
+  bool enabled() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+  trace::MetricsRegistry registry_;
+};
 
 /// Builds the synthetic 42_SC-calibrated workload used by the scheduler
 /// benches.  `--tasks` overrides the scaled-down per-bootstrap task count

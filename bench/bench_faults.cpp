@@ -28,7 +28,7 @@ const PolicyEntry kPolicies[] = {
 };
 
 void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, bench::MetricsExport& metrics) {
   util::Table table("SPE fail-stop degradation (" +
                     std::to_string(bootstraps) + " bootstraps, seed " +
                     std::to_string(seed) + "); cells = makespan (x fault-free"
@@ -44,6 +44,7 @@ void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
       rt::RunConfig cfg;
       cfg.fault.seed = seed;
       cfg.fault.spe_fail_rate = rate;
+      metrics.attach(cfg);
       auto pol = kPolicies[i].make();
       const rt::RunResult r =
           bench::run_bootstraps(bootstraps, *pol, scfg, cfg);
@@ -62,7 +63,7 @@ void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
 }
 
 void sweep_dma_faults(const task::SyntheticConfig& scfg, int bootstraps,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, bench::MetricsExport& metrics) {
   util::Table table("Transient DMA failures under EDTLP (" +
                     std::to_string(bootstraps) + " bootstraps)");
   table.header({"fault rate", "makespan", "vs clean", "faults", "retries"});
@@ -71,6 +72,7 @@ void sweep_dma_faults(const task::SyntheticConfig& scfg, int bootstraps,
     rt::RunConfig cfg;
     cfg.fault.seed = seed;
     cfg.fault.dma_fail_rate = rate;
+    metrics.attach(cfg);
     rt::EdtlpPolicy pol;
     const rt::RunResult r = bench::run_bootstraps(bootstraps, pol, scfg, cfg);
     if (rate == 0.0) clean = r.makespan_s;
@@ -83,7 +85,7 @@ void sweep_dma_faults(const task::SyntheticConfig& scfg, int bootstraps,
 }
 
 void sweep_stragglers(const task::SyntheticConfig& scfg, int bootstraps,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, bench::MetricsExport& metrics) {
   util::Table table("Straggler derating (factor 0.3) under watchdog recovery "
                     "(" + std::to_string(bootstraps) + " bootstraps)");
   table.header({"policy", "straggler rate", "makespan", "vs clean",
@@ -94,6 +96,7 @@ void sweep_stragglers(const task::SyntheticConfig& scfg, int bootstraps,
       rt::RunConfig cfg;
       cfg.fault.seed = seed;
       cfg.fault.straggler_rate = rate;
+      metrics.attach(cfg);
       std::unique_ptr<rt::SchedulerPolicy> pol;
       for (const auto& p : kPolicies) {
         if (std::string(p.label) == name) pol = p.make();
@@ -113,7 +116,8 @@ void sweep_stragglers(const task::SyntheticConfig& scfg, int bootstraps,
 }
 
 void sweep_blade_failstop(const task::SyntheticConfig& scfg,
-                          std::uint64_t seed) {
+                          std::uint64_t seed,
+                          bench::MetricsExport& metrics) {
   util::Table table("Blade fail-stop with bootstrap redistribution "
                     "(24 bootstraps over 4 blades, EDTLP)");
   table.header({"blade fail rate", "makespan", "vs clean", "redistributed"});
@@ -126,6 +130,7 @@ void sweep_blade_failstop(const task::SyntheticConfig& scfg,
     rt::RunConfig cfg;
     cfg.fault.seed = seed;
     cfg.fault.blade_fail_rate = rate;
+    metrics.attach(cfg);
     const rt::RunResult r = rt::run_cluster(wl, factory, 4, cfg);
     if (rate == 0.0) clean = r.makespan_s;
     table.row({util::Table::num(rate, 2), util::Table::seconds(r.makespan_s),
@@ -143,9 +148,10 @@ int main(int argc, char** argv) {
   const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 8));
   const auto seed =
       static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
-  sweep_spe_failstop(scfg, bootstraps, seed);
-  sweep_dma_faults(scfg, bootstraps, seed);
-  sweep_stragglers(scfg, bootstraps, seed);
-  sweep_blade_failstop(scfg, seed);
+  bench::MetricsExport metrics(cli);
+  sweep_spe_failstop(scfg, bootstraps, seed, metrics);
+  sweep_dma_faults(scfg, bootstraps, seed, metrics);
+  sweep_stragglers(scfg, bootstraps, seed, metrics);
+  sweep_blade_failstop(scfg, seed, metrics);
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   using namespace cbe;
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
-  const auto rcfg = bench::run_config(cli);
+  auto rcfg = bench::run_config(cli);
+  bench::MetricsExport metrics(cli);
+  metrics.attach(rcfg);
 
   const double paper_edtlp[] = {28.46, 29.36, 32.54, 33.12,
                                 37.27, 38.66, 41.87, 43.32};

@@ -8,15 +8,24 @@
 // --straggler enables the seeded fault plan (see DESIGN.md "Fault model")
 // and reports per-policy degradation against the fault-free run.
 //
+// Structured tracing: --trace=<file> writes Chrome trace_event JSON (open in
+// chrome://tracing or Perfetto) and --trace-text=<file> the deterministic
+// text format, both captured from one fault-injected MGPS run so the
+// recovery machinery (watchdog, re-offload, PPE fallback) shows up in the
+// timeline.  --metrics=<file> writes that run's metrics JSON.
+//
 //   build/examples/cell_explorer [--bootstraps=N] [--fault-seed=S]
 //       [--spe-fail-rate=P] [--dma-fail-rate=P] [--straggler=P]
-//       [--straggler-factor=F]
+//       [--straggler-factor=F] [--trace=F] [--trace-text=F] [--metrics=F]
 #include <cstdio>
 
 #include "runtime/mgps.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "task/synthetic.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -112,6 +121,50 @@ int main(int argc, char** argv) {
       table.print();
       std::printf("Same seed, same faults: rerun with a different "
                   "--fault-seed to sample another fault schedule.\n");
+    }
+
+    const std::string trace_json = cli.get("trace", "");
+    const std::string trace_text = cli.get("trace-text", "");
+    const std::string metrics_path = cli.get("metrics", "");
+    if (!trace_json.empty() || !trace_text.empty() || !metrics_path.empty()) {
+#if CBE_TRACE_ENABLED
+      // One traced MGPS run.  Unless the user picked their own fault rates,
+      // inject a light default mix so the trace exercises the recovery
+      // paths (watchdog fire, re-offload, PPE fallback), not just the happy
+      // path.
+      if (!fc.enabled()) {
+        fc.spe_fail_rate = 0.25;
+        fc.dma_fail_rate = 0.02;
+        fc.straggler_rate = 0.25;
+      }
+      rt::RunConfig cfg;
+      cfg.fault = fc;
+      trace::TraceSink sink;
+      trace::MetricsRegistry registry;
+      cfg.trace = &sink;
+      cfg.metrics = &registry;
+      rt::MgpsPolicy mgps;
+      rt::run_workload(workload, mgps, cfg);
+      std::printf("\ntraced MGPS run (fault seed %llu): %zu events\n",
+                  static_cast<unsigned long long>(fc.seed), sink.size());
+      if (!trace_json.empty() &&
+          trace::write_file(trace_json, trace::to_chrome_json(sink.events()))) {
+        std::printf("  %s (Chrome trace_event JSON; open in Perfetto)\n",
+                    trace_json.c_str());
+      }
+      if (!trace_text.empty() &&
+          trace::write_file(trace_text, trace::to_text(sink.events()))) {
+        std::printf("  %s (deterministic text trace)\n", trace_text.c_str());
+      }
+      if (!metrics_path.empty() &&
+          trace::write_file(metrics_path, registry.to_json())) {
+        std::printf("  %s (metrics JSON)\n", metrics_path.c_str());
+      }
+#else
+      std::fprintf(stderr,
+                   "--trace/--metrics need a CBE_TRACE=ON build; this one "
+                   "compiled tracing out.\n");
+#endif
     }
   }
   return 0;

@@ -1,7 +1,10 @@
 #include "cellsim/machine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "trace/trace.hpp"
 
 namespace cbe::cell {
 
@@ -76,6 +79,8 @@ void CellMachine::cancel_pending_faults() noexcept {
 void CellMachine::fail_spe(int spe_id) {
   Spe& s = spe(spe_id);
   if (!s.usable()) return;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::FaultFailStop,
+                  spe_id, -1, 0, 0);
   s.fail(eng_.now());
   ++fault_stats_.spe_failures;
   notify_fault_observers(spe_id);
@@ -84,6 +89,8 @@ void CellMachine::fail_spe(int spe_id) {
 void CellMachine::degrade_spe(int spe_id, double factor) {
   Spe& s = spe(spe_id);
   if (!s.usable()) return;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::FaultDegrade,
+                  spe_id, -1, std::llround(factor * 1e6), 0);
   s.degrade(factor);
   ++fault_stats_.stragglers;
 }
@@ -123,6 +130,9 @@ void CellMachine::ensure_module(int spe_id, std::uint16_t module,
       v == ModuleVariant::Parallel && mod.parallel_bytes > 0
           ? mod.parallel_bytes
           : mod.bytes;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::CodeLoad,
+                  spe_id, module, static_cast<std::int64_t>(bytes),
+                  static_cast<std::int64_t>(v));
   s.set_module(module, v, bytes);
   dma(spe_id, static_cast<double>(bytes),
       MfcRules::list_entries(bytes, params_), std::move(done));
@@ -158,6 +168,9 @@ void CellMachine::dma_checked(int spe_id, double bytes, int chunks,
       fault_plan_->dma_fails(dma_seq_++)) {
     ok = false;
     ++fault_stats_.dma_faults;
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::DmaFault,
+                    spe_id, static_cast<std::int32_t>(dma_seq_ - 1),
+                    std::llround(bytes), 0);
   }
   start_dma(spe_id, bytes, chunks, ok, std::move(done));
 }
@@ -169,6 +182,7 @@ void CellMachine::start_dma(int spe_id, double bytes, int chunks, bool ok,
     return;
   }
   ++active_dma_;
+  dma_bytes_ += bytes;
   // Each Cell has its own XDR memory (512 MB per processor on the blade),
   // so DMA congestion is per-Cell: count busy SPEs of this SPE's Cell.
   const int cell = spe(spe_id).cell();
@@ -176,14 +190,37 @@ void CellMachine::start_dma(int spe_id, double bytes, int chunks, bool ok,
   for (const auto& s : spes_) {
     if (s.cell() == cell && !s.idle()) ++busy_in_cell;
   }
-  const sim::Time t = mfc_.transfer_time(bytes, chunks,
-                                         std::max(busy_in_cell, 1),
+  const int congestion = std::max(busy_in_cell, 1);
+  const sim::Time t = mfc_.transfer_time(bytes, chunks, congestion,
                                          /*cross_cell=*/false);
+#if CBE_TRACE_ENABLED
+  const auto id = static_cast<std::int32_t>(dma_id_++);
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::DmaIssue,
+                  spe_id, id, std::llround(bytes), chunks);
+  if (congestion > 1 && trace::current() != nullptr) {
+    // Contention stall: extra transfer time versus the uncontended path.
+    const sim::Time solo = mfc_.transfer_time(bytes, chunks, 1,
+                                              /*cross_cell=*/false);
+    if (t > solo) {
+      CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::EibStall,
+                      spe_id, id, congestion, (t - solo).nanoseconds());
+    }
+  }
+  eng_.schedule_after(t, [this, spe_id, id, ok, cb = std::move(done)] {
+    --active_dma_;
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::DmaRetire,
+                    spe_id, id, ok ? 1 : 0,
+                    spe(spe_id).usable() ? 1 : 0);
+    if (!spe(spe_id).usable()) return;
+    cb(ok);
+  });
+#else
   eng_.schedule_after(t, [this, spe_id, ok, cb = std::move(done)] {
     --active_dma_;
     if (!spe(spe_id).usable()) return;
     cb(ok);
   });
+#endif
 }
 
 sim::Time CellMachine::signal_latency(int spe_id) const noexcept {
@@ -198,6 +235,8 @@ sim::Time CellMachine::pass_latency(int from, int to) const noexcept {
 }
 
 void CellMachine::signal(int spe_id, Fn done) {
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::MailboxSignal,
+                  spe_id, -1, signal_latency(spe_id).nanoseconds(), 0);
   eng_.schedule_after(signal_latency(spe_id),
                       [this, spe_id, cb = std::move(done)] {
                         if (!spe(spe_id).usable()) return;

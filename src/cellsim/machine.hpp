@@ -108,6 +108,10 @@ class CellMachine {
   /// Aggregate SPE utilization in [0,1] over the simulation so far.
   double mean_spe_utilization() const noexcept;
   int active_dmas() const noexcept { return active_dma_; }
+  /// Total payload bytes moved by every DMA issued so far (code loads
+  /// included); the trace invariant tests reconcile the event stream
+  /// against this counter.
+  double total_dma_bytes() const noexcept { return dma_bytes_; }
 
  private:
   void notify_fault_observers(int spe);
@@ -124,6 +128,8 @@ class CellMachine {
   const sim::FaultPlan* fault_plan_ = nullptr;
   std::vector<sim::EventId> fault_events_;
   std::uint64_t dma_seq_ = 0;
+  std::uint64_t dma_id_ = 0;  ///< trace pairing id for issue/retire events
+  double dma_bytes_ = 0.0;
   FaultStats fault_stats_;
   std::vector<std::pair<int, FaultObserver>> fault_observers_;
   int next_observer_id_ = 0;

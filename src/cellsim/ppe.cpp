@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace cbe::cell {
 
 Ppe::Ppe(sim::Engine& eng, Config cfg) : eng_(eng), cfg_(cfg) {
@@ -36,9 +38,12 @@ void Ppe::grant(int ctx, Waiter w) {
   p.context = ctx;
 
   const bool needs_switch = c.last_holder != -1 && c.last_holder != w.pid;
+  [[maybe_unused]] const int prev_holder = c.last_holder;
   c.last_holder = w.pid;
   if (needs_switch) {
     ++switches_;
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::CtxSwitch,
+                    ctx, w.pid, prev_holder, 0);
     const sim::Time cost = cfg_.ctx_switch + cfg_.resume_penalty;
     p.grant_time = eng_.now() + cost;
     eng_.schedule_after(cost, [cb = std::move(w.on_granted)] { cb(); });

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace cbe::cell {
 
@@ -62,6 +63,8 @@ class Spe {
     if (busy_) throw std::logic_error("Spe::reserve: already busy");
     busy_ = true;
     last_change_ = now;
+    CBE_TRACE_EVENT(now.nanoseconds(), trace::EventKind::SpeBusy, id_, -1,
+                    0, 0);
   }
   void release(sim::Time now) {
     if (!busy_) throw std::logic_error("Spe::release: not busy");
@@ -69,6 +72,8 @@ class Spe {
     busy_acc_ += now - last_change_;
     last_change_ = now;
     ++tasks_served_;
+    CBE_TRACE_EVENT(now.nanoseconds(), trace::EventKind::SpeIdle, id_, -1,
+                    0, 0);
   }
 
   SpeHealth health() const noexcept { return health_; }
@@ -86,6 +91,8 @@ class Spe {
       busy_ = false;
       busy_acc_ += now - last_change_;
       last_change_ = now;
+      CBE_TRACE_EVENT(now.nanoseconds(), trace::EventKind::SpeIdle, id_, -1,
+                      0, 0);
     }
     health_ = SpeHealth::Failed;
   }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace cbe::native {
 
 OffloadPool::OffloadPool(int workers) {
@@ -12,8 +15,25 @@ OffloadPool::OffloadPool(int workers) {
   }
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+void OffloadPool::set_trace(trace::ConcurrentTraceSink* sink) noexcept {
+#if CBE_TRACE_ENABLED
+  trace_sink_.store(sink, std::memory_order_release);
+#else
+  (void)sink;
+#endif
+}
+
+void OffloadPool::set_metrics(trace::MetricsRegistry* m) {
+#if CBE_TRACE_ENABLED
+  task_hist_.store(m != nullptr ? &m->histogram("native.task_us") : nullptr,
+                   std::memory_order_release);
+#else
+  (void)m;
+#endif
 }
 
 OffloadPool::~OffloadPool() {
@@ -124,7 +144,15 @@ void OffloadPool::watchdog_loop() {
   }
 }
 
-void OffloadPool::worker_loop() {
+void OffloadPool::worker_loop(int index) {
+#if CBE_TRACE_ENABLED
+  // Lazily (re-)attach this worker's single-writer buffer when a sink is
+  // installed; the buffer pointer is thread-private from then on.
+  trace::ConcurrentTraceSink* attached_to = nullptr;
+  trace::ConcurrentTraceSink::Buffer* buf = nullptr;
+#else
+  (void)index;
+#endif
   for (;;) {
     std::function<void()> job;
     {
@@ -135,9 +163,38 @@ void OffloadPool::worker_loop() {
       queue_.pop_front();
     }
     busy_.fetch_add(1, std::memory_order_relaxed);
+#if CBE_TRACE_ENABLED
+    trace::ConcurrentTraceSink* sink =
+        trace_sink_.load(std::memory_order_acquire);
+    if (sink != attached_to) {
+      attached_to = sink;
+      buf = sink != nullptr ? sink->attach() : nullptr;
+    }
+    const auto task_id = static_cast<std::int32_t>(
+        next_task_id_.fetch_add(1, std::memory_order_relaxed));
+    const auto t0 = std::chrono::steady_clock::now();
+    if (buf != nullptr) {
+      buf->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - epoch_)
+              .count(),
+          trace::EventKind::TaskDispatch, index, task_id);
+    }
+#endif
     job();
-    busy_.fetch_sub(1, std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+#if CBE_TRACE_ENABLED
+    const auto t1 = std::chrono::steady_clock::now();
+    if (buf != nullptr) {
+      buf->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - epoch_)
+              .count(),
+          trace::EventKind::TaskComplete, index, task_id);
+    }
+    if (trace::Histogram* h = task_hist_.load(std::memory_order_acquire)) {
+      h->observe(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+#endif
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -22,6 +22,12 @@
 #include <thread>
 #include <vector>
 
+namespace cbe::trace {
+class ConcurrentTraceSink;
+class Histogram;
+class MetricsRegistry;
+}  // namespace cbe::trace
+
 namespace cbe::native {
 
 class OffloadPool {
@@ -104,6 +110,15 @@ class OffloadPool {
     return deadline_misses_.load(std::memory_order_relaxed);
   }
 
+  /// Streams per-task dispatch/complete events into `sink` (timestamps are
+  /// steady-clock ns since pool construction; spe=worker index).  Each
+  /// worker writes its own single-writer buffer, so recording is lock-free.
+  /// Pass nullptr to detach.  A no-op with CBE_TRACE=OFF.
+  void set_trace(trace::ConcurrentTraceSink* sink) noexcept;
+  /// Records per-task latency into `m`'s "native.task_us" histogram.
+  /// Pass nullptr to detach.  A no-op with CBE_TRACE=OFF.
+  void set_metrics(trace::MetricsRegistry* m);
+
  private:
   struct Deadline {
     std::chrono::steady_clock::time_point at;
@@ -113,7 +128,7 @@ class OffloadPool {
   };
 
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(int index);
   void watchdog_loop();
 
   mutable std::mutex mu_;
@@ -124,6 +139,13 @@ class OffloadPool {
   std::atomic<int> busy_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> retries_{0};
+
+  // Observability (see set_trace / set_metrics).
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::atomic<trace::ConcurrentTraceSink*> trace_sink_{nullptr};
+  std::atomic<trace::Histogram*> task_hist_{nullptr};
+  std::atomic<std::uint64_t> next_task_id_{0};
 
   // Deadline watchdog: one lazily started thread serving a min-heap of
   // outstanding deadlines.

@@ -9,8 +9,19 @@
 #include <stdexcept>
 
 #include "cellsim/mfc.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace cbe::rt {
+
+void LoopExecutor::set_metrics(trace::MetricsRegistry* m) {
+#if CBE_TRACE_ENABLED
+  imbalance_hist_ =
+      m != nullptr ? &m->histogram("loop_imbalance_pct") : nullptr;
+#else
+  (void)m;
+#endif
+}
 
 void LoopBalancer::observe(double master_idle_us, double worker_wait_us,
                            double loop_span_us) noexcept {
@@ -41,6 +52,7 @@ struct LoopState {
   int max_dma_retries = 0;
   std::uint64_t* reassigned_ctr = nullptr;
   std::uint64_t* retry_ctr = nullptr;
+  trace::Histogram* imbalance_hist = nullptr;
   std::function<void()> release_hook;  ///< fires on dead-loop SPE releases
 
   int remaining = 0;       ///< worker results not yet arrived or reassigned
@@ -97,6 +109,28 @@ void loop_finish_check(const std::shared_ptr<LoopState>& st) {
     st->m->remove_fault_observer(st->observer);
     st->observer = -1;
   }
+#if CBE_TRACE_ENABLED
+  {
+    const std::int64_t m_idle_ns =
+        st->last_arrival > st->master_end
+            ? (st->last_arrival - st->master_end).nanoseconds()
+            : 0;
+    const std::int64_t w_wait_ns =
+        st->master_end > st->last_arrival
+            ? (st->master_end - st->last_arrival).nanoseconds()
+            : 0;
+    CBE_TRACE_EVENT(st->eng->now().nanoseconds(), trace::EventKind::LoopJoin,
+                    st->master, -1, m_idle_ns, w_wait_ns);
+    if (st->imbalance_hist != nullptr) {
+      const double span_us = (st->eng->now() - st->start).to_us();
+      if (span_us > 0.0) {
+        st->imbalance_hist->observe(
+            100.0 * (static_cast<double>(m_idle_ns + w_wait_ns) / 1000.0) /
+            span_us);
+      }
+    }
+  }
+#endif
   if (!st->faulted) {
     // Feed the balancer only with clean invocations: a reassigned chunk or
     // retried transfer distorts the master/worker timing signal.
@@ -130,6 +164,9 @@ void loop_reassign(const std::shared_ptr<LoopState>& st, int w) {
   st->extra_iters += iters;
   --st->remaining;
   ++*st->reassigned_ctr;
+  CBE_TRACE_EVENT(st->eng->now().nanoseconds(),
+                  trace::EventKind::ChunkReassign, w, st->master,
+                  static_cast<std::int64_t>(iters), 0);
   loop_master_drain(st);
 }
 
@@ -204,6 +241,8 @@ void LoopExecutor::run(int master, std::vector<int> workers,
   if (loop.iterations < static_cast<std::uint32_t>(d)) {
     throw std::logic_error("LoopExecutor::run: degree exceeds iterations");
   }
+  CBE_TRACE_EVENT(eng->now().nanoseconds(), trace::EventKind::LoopFork,
+                  master, -1, d, static_cast<std::int64_t>(loop.iterations));
 
   // Iteration split: master takes a (possibly biased) share, workers split
   // the remainder evenly with the first workers absorbing the remainder.
@@ -232,6 +271,7 @@ void LoopExecutor::run(int master, std::vector<int> workers,
   st->max_dma_retries = params_.max_dma_retries;
   st->reassigned_ctr = &reassigned_chunks_;
   st->retry_ctr = &dma_retries_;
+  st->imbalance_hist = imbalance_hist_;
   st->release_hook = release_hook_;
   st->remaining = static_cast<int>(workers.size());
   st->start = eng->now();

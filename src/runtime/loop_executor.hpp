@@ -28,6 +28,11 @@
 #include "cellsim/machine.hpp"
 #include "task/task.hpp"
 
+namespace cbe::trace {
+class Histogram;
+class MetricsRegistry;
+}  // namespace cbe::trace
+
 namespace cbe::rt {
 
 /// Feedback tuner for the master's iteration share.
@@ -94,12 +99,18 @@ class LoopExecutor {
     release_hook_ = std::move(hook);
   }
 
+  /// Streams each invocation's load imbalance (|master idle - worker wait|
+  /// as a percentage of the loop span) into `m`'s "loop_imbalance_pct"
+  /// histogram.  Pass nullptr to detach; a no-op with CBE_TRACE=OFF.
+  void set_metrics(trace::MetricsRegistry* m);
+
  private:
   cell::CellMachine* machine_;
   LoopParams params_;
   std::uint64_t reassigned_chunks_ = 0;
   std::uint64_t dma_retries_ = 0;
   std::function<void()> release_hook_;
+  trace::Histogram* imbalance_hist_ = nullptr;
 };
 
 }  // namespace cbe::rt

@@ -17,6 +17,7 @@ struct RunResult {
   std::uint64_t ctx_switches = 0;     ///< PPE context switches
   std::uint64_t code_loads = 0;       ///< SPE code DMAs (incl. variant swaps)
   std::uint64_t events = 0;           ///< simulator events processed
+  double dma_bytes = 0.0;             ///< total DMA payload bytes moved
 
   // Fault-injection and recovery counters (zero on fault-free runs).
   std::uint64_t spe_failures = 0;     ///< SPE fail-stop events applied

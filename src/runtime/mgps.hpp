@@ -21,6 +21,7 @@
 #include <set>
 
 #include "runtime/policy.hpp"
+#include "trace/trace.hpp"
 
 namespace cbe::rt {
 
@@ -82,6 +83,7 @@ class MgpsPolicy final : public SchedulerPolicy {
 
  private:
   void evaluate(const RuntimeView& view, int u) {
+    const int prev_degree = current_degree_;
     // Fail-stopped SPEs are gone for good: every decision is made against
     // the surviving pool, so MGPS adapts its degree when faults shrink the
     // machine mid-run.
@@ -106,6 +108,10 @@ class MgpsPolicy final : public SchedulerPolicy {
           std::clamp(local / t_local, 1, std::max(1, local / 2));
     } else {
       current_degree_ = 1;
+    }
+    if (current_degree_ != prev_degree) {
+      CBE_TRACE_EVENT(view.now.nanoseconds(), trace::EventKind::DegreeChange,
+                      -1, -1, current_degree_, u);
     }
   }
 

@@ -11,6 +11,8 @@
 #include "cellsim/machine.hpp"
 #include "cellsim/mfc.hpp"
 #include "sim/engine.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 
 namespace cbe::rt {
@@ -25,6 +27,12 @@ class Driver {
         machine_(eng_, cfg.cell, modules_),
         loop_exec_(machine_, cfg.loop) {
     for (auto& b : balancers_) b.set_adaptive(cfg.adaptive_balance);
+#if CBE_TRACE_ENABLED
+    if (cfg_.metrics != nullptr) {
+      latency_hist_ = &cfg_.metrics->histogram("offload_latency_us");
+      loop_exec_.set_metrics(cfg_.metrics);
+    }
+#endif
   }
 
   RunResult run();
@@ -48,6 +56,7 @@ class Driver {
     std::size_t pc = 0;
     bool finished = false;
     int last_spe = -1;  ///< SPE affinity: reuse keeps code resident
+    sim::Time dispatch_at;      ///< off-load start, for latency metrics
     std::uint64_t attempt = 0;  ///< generation: stale completions compare it
     int retries = 0;            ///< recovery re-offloads of the current task
     sim::EventId watchdog;
@@ -137,9 +146,15 @@ class Driver {
   sim::FaultPlan fault_plan_;
   bool faults_on_ = false;
   std::vector<char> recovered_;  ///< per-bootstrap: completion needed recovery
+  trace::Histogram* latency_hist_ = nullptr;
+
+  void finalize_metrics();
 };
 
 RunResult Driver::run() {
+  // Ambient sink for every layer's CBE_TRACE_EVENT sites; restored on exit
+  // so nested/sequential runs (run_cluster) compose.
+  trace::ScopedTrace scoped_trace(CBE_TRACE_ENABLED ? cfg_.trace : nullptr);
   const int b = static_cast<int>(wl_.size());
   if (b == 0) return res_;
   res_.bootstrap_completion_s.assign(static_cast<std::size_t>(b), 0.0);
@@ -186,8 +201,41 @@ RunResult Driver::run() {
   res_.dma_faults = fs.dma_faults;
   res_.dma_retries += loop_exec_.dma_retries();
   res_.loop_reassignments = loop_exec_.reassigned_chunks();
+  res_.dma_bytes = machine_.total_dma_bytes();
   for (char r : recovered_) res_.recovered_bootstraps += (r != 0);
+  finalize_metrics();
   return res_;
+}
+
+void Driver::finalize_metrics() {
+#if CBE_TRACE_ENABLED
+  trace::MetricsRegistry* m = cfg_.metrics;
+  if (m == nullptr) return;
+  m->gauge("run.makespan_s").set(res_.makespan_s);
+  m->gauge("run.mean_spe_utilization").set(res_.mean_spe_utilization);
+  m->gauge("run.mean_loop_degree").set(res_.mean_loop_degree);
+  m->counter("run.offloads").add(res_.offloads);
+  m->counter("run.ppe_fallbacks").add(res_.ppe_fallbacks);
+  m->counter("run.loop_splits").add(res_.loop_splits);
+  m->counter("run.ctx_switches").add(res_.ctx_switches);
+  m->counter("run.code_loads").add(res_.code_loads);
+  m->counter("run.events").add(res_.events);
+  m->counter("dma.bytes").add(
+      static_cast<std::uint64_t>(machine_.total_dma_bytes()));
+  m->counter("fault.spe_failures").add(res_.spe_failures);
+  m->counter("fault.stragglers").add(res_.stragglers);
+  m->counter("fault.dma_faults").add(res_.dma_faults);
+  m->counter("fault.dma_retries").add(res_.dma_retries);
+  m->counter("fault.timeouts").add(res_.timeouts);
+  m->counter("fault.reoffloads").add(res_.reoffloads);
+  m->counter("fault.ppe_fallbacks").add(res_.fault_ppe_fallbacks);
+  for (int s = 0; s < machine_.num_spes(); ++s) {
+    m->gauge("spe." + std::to_string(s) + ".utilization")
+        .set(machine_.spe(s).utilization(eng_.now()));
+    m->counter("spe." + std::to_string(s) + ".tasks")
+        .add(machine_.spe(s).tasks_served());
+  }
+#endif
 }
 
 void Driver::setup_faults() {
@@ -282,6 +330,8 @@ void Driver::dispatch(int pid) {
     // Task class failed the t_spe + t_code + 2 t_comm < t_ppe test; run the
     // PPE version of the function instead (Section 5.2).
     ++res_.ppe_fallbacks;
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::PpeFallback,
+                    -1, pid, static_cast<std::int64_t>(kind), 0);
     ppe(p).compute(p.ppe_pid, t.ppe_cycles,
                    [this, pid] { after_ppe_task(pid); });
     return;
@@ -296,6 +346,8 @@ void Driver::dispatch(int pid) {
 
   std::vector<int> idle = machine_.idle_spes(p.cell);
   if (idle.empty()) {
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::TaskQueued,
+                    -1, pid, p.bootstrap, 0);
     wait_queue_.push_back(pid);
     if (policy_.yield_on_offload()) ppe(p).yield(p.ppe_pid);
     // Spin-wait policies keep the context while queued.
@@ -346,6 +398,9 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
     }
   }
   d = static_cast<int>(workers.size()) + 1;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::TaskDispatch,
+                  master, pid, p.bootstrap, d);
+  CBE_TRACE_ONLY(p.dispatch_at = eng_.now());
   machine_.spe(master).reserve(eng_.now());
   for (int w : workers) machine_.spe(w).reserve(eng_.now());
   ++outstanding_tasks_;
@@ -474,6 +529,13 @@ void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
     eng_.cancel(p.watchdog);
     p.att.reset();
   }
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::TaskComplete,
+                  p.last_spe, pid, p.bootstrap, 0);
+#if CBE_TRACE_ENABLED
+  if (latency_hist_ != nullptr) {
+    latency_hist_->observe((eng_.now() - p.dispatch_at).to_us());
+  }
+#endif
   policy_.on_departure(view(), pid);
   serve_wait_queue();
 
@@ -594,6 +656,9 @@ void Driver::on_watchdog(int pid, std::uint64_t attempt_id) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
   if (p.finished || attempt_id != p.attempt || !p.att) return;
   ++res_.timeouts;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::WatchdogFire,
+                  p.att->master, pid,
+                  static_cast<std::int64_t>(attempt_id), 0);
   res_.wasted_cycles += segment(p).task.spe_cycles_total();
   mark_recovered(p.bootstrap);
   std::shared_ptr<Attempt> att = p.att;
@@ -647,12 +712,16 @@ void Driver::on_spe_failure(int spe) {
 void Driver::redispatch(int pid) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
   ++res_.reoffloads;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::Reoffload, -1,
+                  pid, p.retries, 0);
   if (p.retries > cfg_.max_task_retries || machine_.healthy_spes() == 0) {
     ppe_recover(pid);
     return;
   }
   std::vector<int> idle = machine_.idle_spes(p.cell);
   if (idle.empty()) {
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::TaskQueued,
+                    -1, pid, p.bootstrap, 1);
     wait_queue_.push_back(pid);
     return;
   }
@@ -665,6 +734,9 @@ void Driver::ppe_recover(int pid) {
   // granularity test's demotion path does, but driven by fault recovery.
   Proc& p = procs_[static_cast<std::size_t>(pid)];
   ++res_.fault_ppe_fallbacks;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::PpeFallback,
+                  -1, pid, static_cast<std::int64_t>(segment(p).task.kind),
+                  1);
   mark_recovered(p.bootstrap);
   p.att.reset();
   if (ppe(p).holds_context(p.ppe_pid)) {
@@ -736,6 +808,7 @@ RunResult run_cluster(const task::Workload& wl,
     total.loop_reassignments += r.loop_reassignments;
     total.fault_ppe_fallbacks += r.fault_ppe_fallbacks;
     total.wasted_cycles += r.wasted_cycles;
+    total.dma_bytes += r.dma_bytes;
     total.recovered_bootstraps += r.recovered_bootstraps;
   };
 

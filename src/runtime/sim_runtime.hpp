@@ -17,6 +17,11 @@
 #include "sim/fault.hpp"
 #include "task/task.hpp"
 
+namespace cbe::trace {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace cbe::trace
+
 namespace cbe::rt {
 
 struct RunConfig {
@@ -54,6 +59,17 @@ struct RunConfig {
   /// Re-offload attempts after a watchdog timeout before the task is
   /// executed on the PPE (always-correct fallback).
   int max_task_retries = 2;
+
+  // -- Observability (see DESIGN.md "Observability") -----------------------
+  /// Structured event sink installed for the duration of the run.  The
+  /// simulator is single-threaded, so the captured stream is totally ordered
+  /// and bit-reproducible per seed.  Ignored (no events) when the build has
+  /// CBE_TRACE=OFF.  run_cluster runs its blades sequentially into the same
+  /// sink.
+  trace::TraceSink* trace = nullptr;
+  /// Per-run metrics: offload-latency and loop-imbalance histograms recorded
+  /// live, plus end-of-run counters and per-SPE utilization gauges.
+  trace::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs `wl` to completion under `policy`; deterministic for a given

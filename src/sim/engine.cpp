@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace cbe::sim {
 
 std::uint32_t Engine::acquire_slot() {
@@ -75,6 +77,9 @@ Time Engine::run_until(Time limit) {
     ++processed_;
     cb();
   }
+  CBE_TRACE_EVENT(now_.nanoseconds(), trace::EventKind::EngineDrain, -1, -1,
+                  static_cast<std::int64_t>(processed_),
+                  static_cast<std::int64_t>(live_));
   return now_;
 }
 

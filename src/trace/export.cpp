@@ -1,0 +1,145 @@
+#include "trace/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace cbe::trace {
+
+std::string to_text(const std::vector<Event>& events) {
+  std::string out = "# cbe-trace v1\n";
+  char line[160];
+  for (const Event& e : events) {
+    std::snprintf(line, sizeof line,
+                  "%" PRId64 " %s spe=%d pid=%d a=%" PRId64 " b=%" PRId64
+                  "\n",
+                  e.t_ns, event_name(e.kind), static_cast<int>(e.spe),
+                  static_cast<int>(e.pid), e.a, e.b);
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+/// One trace_event JSON object.  `ts` is microseconds with ns precision.
+void append_event(std::string& out, bool& first, const char* name,
+                  const char* cat, char ph, std::int64_t t_ns, int tid,
+                  const std::string& extra) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                "\"ts\":%" PRId64 ".%03d,\"pid\":0,\"tid\":%d",
+                first ? "" : ",\n", name, cat, ph, t_ns / 1000,
+                static_cast<int>(t_ns % 1000), tid);
+  first = false;
+  out += buf;
+  out += extra;
+  out += "}";
+}
+
+std::string args1(const char* k, std::int64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"args\":{\"%s\":%" PRId64 "}", k, v);
+  return buf;
+}
+
+std::string args2(const char* k1, std::int64_t v1, const char* k2,
+                  std::int64_t v2) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                ",\"args\":{\"%s\":%" PRId64 ",\"%s\":%" PRId64 "}", k1, v1,
+                k2, v2);
+  return buf;
+}
+
+/// Synthetic tids for non-SPE tracks.
+constexpr int kGlobalTid = 99;
+constexpr int kPpeTidBase = 100;
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  std::set<int> spe_tids;
+  int busy = 0;
+  for (const Event& e : events) {
+    const int spe = e.spe;
+    if (spe >= 0) spe_tids.insert(spe);
+    switch (e.kind) {
+      case EventKind::TaskDispatch:
+        append_event(out, first, "task", "task", 'B', e.t_ns, spe,
+                     args2("bootstrap", e.a, "degree", e.b) );
+        break;
+      case EventKind::TaskComplete:
+        append_event(out, first, "task", "task", 'E', e.t_ns, spe, "");
+        break;
+      case EventKind::LoopFork:
+        append_event(out, first, "llp", "loop", 'B', e.t_ns, spe,
+                     args2("degree", e.a, "iterations", e.b));
+        break;
+      case EventKind::LoopJoin:
+        append_event(out, first, "llp", "loop", 'E', e.t_ns, spe, "");
+        break;
+      case EventKind::DmaIssue: {
+        std::string extra = ",\"id\":" + std::to_string(e.pid) +
+                            args2("bytes", e.a, "chunks", e.b);
+        append_event(out, first, "dma", "dma", 'b', e.t_ns, spe, extra);
+        break;
+      }
+      case EventKind::DmaRetire: {
+        std::string extra = ",\"id\":" + std::to_string(e.pid);
+        append_event(out, first, "dma", "dma", 'e', e.t_ns, spe, extra);
+        break;
+      }
+      case EventKind::SpeBusy:
+      case EventKind::SpeIdle:
+        busy += e.kind == EventKind::SpeBusy ? 1 : -1;
+        append_event(out, first, "busy_spes", "occupancy", 'C', e.t_ns,
+                     kGlobalTid, args1("busy", busy));
+        break;
+      case EventKind::CtxSwitch:
+        append_event(out, first, "ctx_switch", "ppe", 'i', e.t_ns,
+                     kPpeTidBase + spe,
+                     args2("to", e.pid, "from", e.a) + ",\"s\":\"t\"");
+        break;
+      case EventKind::MailboxSignal:
+        append_event(out, first, "mailbox", "signal", 'i', e.t_ns, spe,
+                     std::string(",\"s\":\"t\"") );
+        break;
+      default: {
+        const int tid = spe >= 0 ? spe : kGlobalTid;
+        append_event(out, first, event_name(e.kind), "runtime", 'i', e.t_ns,
+                     tid, args2("a", e.a, "b", e.b) + ",\"s\":\"g\"");
+        break;
+      }
+    }
+  }
+  // Name the tracks so Perfetto shows "SPE n" instead of bare tids.
+  for (int tid : spe_tids) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"SPE %d\"}}",
+                  first ? "" : ",\n", tid, tid);
+    first = false;
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = (std::fclose(f) == 0) && n == content.size();
+  if (!ok) std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace cbe::trace

@@ -1,0 +1,26 @@
+// Trace exporters: a compact deterministic text format for golden-file
+// diffing, and Chrome trace_event JSON for chrome://tracing / Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cbe::trace {
+
+/// Deterministic text: a `# cbe-trace v1` header then one line per event,
+/// `<t_ns> <name> spe=<n> pid=<n> a=<n> b=<n>`.  Integers only, so equal
+/// event streams produce bit-identical files on every platform.
+std::string to_text(const std::vector<Event>& events);
+
+/// Chrome trace_event JSON (the object form, {"traceEvents": [...]}).
+/// Task and loop spans become duration events on tid = SPE id, DMAs become
+/// async spans (they overlap compute on the same SPE), occupancy becomes a
+/// "busy_spes" counter track, and everything else becomes instants.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+/// Writes `content` to `path`; returns false (and logs) on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace cbe::trace

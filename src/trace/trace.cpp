@@ -1,0 +1,94 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace cbe::trace {
+
+const char* event_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::TaskDispatch: return "task_dispatch";
+    case EventKind::TaskComplete: return "task_complete";
+    case EventKind::TaskQueued: return "task_queued";
+    case EventKind::PpeFallback: return "ppe_fallback";
+    case EventKind::DmaIssue: return "dma_issue";
+    case EventKind::DmaRetire: return "dma_retire";
+    case EventKind::DmaFault: return "dma_fault";
+    case EventKind::EibStall: return "eib_stall";
+    case EventKind::CodeLoad: return "code_load";
+    case EventKind::MailboxSignal: return "mailbox";
+    case EventKind::CtxSwitch: return "ctx_switch";
+    case EventKind::SpeBusy: return "spe_busy";
+    case EventKind::SpeIdle: return "spe_idle";
+    case EventKind::LoopFork: return "loop_fork";
+    case EventKind::LoopJoin: return "loop_join";
+    case EventKind::ChunkReassign: return "chunk_reassign";
+    case EventKind::DegreeChange: return "degree_change";
+    case EventKind::FaultFailStop: return "fault_failstop";
+    case EventKind::FaultDegrade: return "fault_degrade";
+    case EventKind::WatchdogFire: return "watchdog_fire";
+    case EventKind::Reoffload: return "reoffload";
+    case EventKind::EngineDrain: return "engine_drain";
+    case EventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t TraceSink::count(EventKind kind) const noexcept {
+  std::uint64_t n = 0;
+  for (const Event& e : events_) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+namespace {
+thread_local TraceSink* g_current = nullptr;
+}  // namespace
+
+TraceSink* current() noexcept { return g_current; }
+
+TraceSink* set_current(TraceSink* sink) noexcept {
+  TraceSink* prev = g_current;
+  g_current = sink;
+  return prev;
+}
+
+struct ConcurrentTraceSink::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+ConcurrentTraceSink::ConcurrentTraceSink() : impl_(new Impl) {}
+
+ConcurrentTraceSink::~ConcurrentTraceSink() { delete impl_; }
+
+ConcurrentTraceSink::Buffer* ConcurrentTraceSink::attach() {
+  std::lock_guard lock(impl_->mu);
+  impl_->buffers.push_back(std::make_unique<Buffer>());
+  return impl_->buffers.back().get();
+}
+
+std::vector<Event> ConcurrentTraceSink::drain() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard lock(impl_->mu);
+    std::size_t total = 0;
+    for (const auto& b : impl_->buffers) total += b->events_.size();
+    out.reserve(total);
+    for (const auto& b : impl_->buffers) {
+      out.insert(out.end(), b->events_.begin(), b->events_.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+  return out;
+}
+
+std::size_t ConcurrentTraceSink::threads_attached() const noexcept {
+  std::lock_guard lock(impl_->mu);
+  return impl_->buffers.size();
+}
+
+}  // namespace cbe::trace

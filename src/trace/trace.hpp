@@ -1,0 +1,165 @@
+// Structured execution tracing (see DESIGN.md "Observability").
+//
+// Every layer of the stack emits typed events through the CBE_TRACE_EVENT
+// macro into an *ambient* per-thread TraceSink.  The simulator is
+// single-threaded per run, so installing a sink around run_workload captures
+// a totally ordered, deterministic event stream: same seed + config produces
+// a bit-identical trace, which is what makes traces usable as golden
+// regression fixtures (tests/golden/).
+//
+// The native thread pool records through a ConcurrentTraceSink instead: each
+// worker owns a single-writer buffer (no locking on the record path; the
+// registration of a new thread's buffer is the only synchronized step).
+//
+// Tracing compiles out entirely with -DCBE_TRACE=OFF: CBE_TRACE_EVENT
+// expands to nothing and the hot paths carry zero tracing code.  When
+// compiled in but no sink is installed, the cost is one thread-local load
+// and branch per site.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#ifndef CBE_TRACE_ENABLED
+#define CBE_TRACE_ENABLED 1
+#endif
+
+namespace cbe::trace {
+
+/// Every event the stack can emit.  The payload fields `a`/`b` are
+/// per-kind (documented in DESIGN.md "Observability: event schema"); all
+/// payloads are integers so the text export is bit-reproducible.
+enum class EventKind : std::uint8_t {
+  TaskDispatch,   ///< spe=master, pid, a=bootstrap, b=loop degree
+  TaskComplete,   ///< spe=master, pid, a=bootstrap
+  TaskQueued,     ///< spe=-1, pid (no idle SPE; dispatch parked)
+  PpeFallback,    ///< spe=-1, pid, a=task kind, b=1 if fault-recovery path
+  DmaIssue,       ///< spe, pid=dma id, a=bytes, b=chunks
+  DmaRetire,      ///< spe, pid=dma id, a=ok
+  DmaFault,       ///< spe, pid=oracle index, a=bytes (transient failure)
+  EibStall,       ///< spe, pid=dma id, a=congestion, b=stall ns
+  CodeLoad,       ///< spe, pid=module id, a=bytes, b=variant
+  MailboxSignal,  ///< spe, a=latency ns (one-way PPE<->SPE signal)
+  CtxSwitch,      ///< spe=context, pid=new holder, a=previous holder
+  SpeBusy,        ///< spe (reservation begins)
+  SpeIdle,        ///< spe (reservation released)
+  LoopFork,       ///< spe=master, a=degree, b=iterations
+  LoopJoin,       ///< spe=master, a=master idle ns, b=worker wait ns
+  ChunkReassign,  ///< spe=lost worker, a=iterations moved to the master
+  DegreeChange,   ///< a=new MGPS degree, b=observed TLP degree U
+  FaultFailStop,  ///< spe (fail-stop applied)
+  FaultDegrade,   ///< spe, a=derate factor in parts-per-million
+  WatchdogFire,   ///< spe=master, pid, a=attempt id
+  Reoffload,      ///< spe=-1, pid, a=retry count
+  EngineDrain,    ///< a=events processed, b=events still pending
+  kCount
+};
+
+/// Stable short name used by both exporters (and the golden text format).
+const char* event_name(EventKind k) noexcept;
+
+struct Event {
+  std::int64_t t_ns = 0;  ///< simulated ns (or steady-clock ns natively)
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int32_t pid = -1;
+  std::int16_t spe = -1;
+  EventKind kind = EventKind::TaskDispatch;
+};
+
+/// Single-writer event recorder.  The simulator installs one as the ambient
+/// sink for the duration of a run; the golden tests snapshot its contents.
+class TraceSink {
+ public:
+  void record(std::int64_t t_ns, EventKind kind, int spe, int pid,
+              std::int64_t a = 0, std::int64_t b = 0) {
+    events_.push_back(Event{t_ns, a, b, pid, static_cast<std::int16_t>(spe),
+                            kind});
+  }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Number of recorded events of `kind`.
+  std::uint64_t count(EventKind kind) const noexcept;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// The calling thread's ambient sink (null when none installed).
+TraceSink* current() noexcept;
+/// Installs `sink` as the ambient sink; returns the previous one.
+TraceSink* set_current(TraceSink* sink) noexcept;
+
+/// RAII installation of an ambient sink (restores the previous on exit).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceSink* sink) : prev_(set_current(sink)) {}
+  ~ScopedTrace() { set_current(prev_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+/// Multi-threaded recorder for the native pool: each writer thread attaches
+/// once and then records into its own buffer without synchronization.
+/// drain() merges all buffers sorted by timestamp (record order within one
+/// thread is preserved by a per-buffer sequence).
+class ConcurrentTraceSink {
+ public:
+  ConcurrentTraceSink();
+  ~ConcurrentTraceSink();
+  ConcurrentTraceSink(const ConcurrentTraceSink&) = delete;
+  ConcurrentTraceSink& operator=(const ConcurrentTraceSink&) = delete;
+
+  class Buffer {
+   public:
+    void record(std::int64_t t_ns, EventKind kind, int spe, int pid,
+                std::int64_t a = 0, std::int64_t b = 0) {
+      events_.push_back(Event{t_ns, a, b, pid,
+                              static_cast<std::int16_t>(spe), kind});
+    }
+
+   private:
+    friend class ConcurrentTraceSink;
+    std::vector<Event> events_;
+  };
+
+  /// Registers a new single-writer buffer; call once per writer thread and
+  /// keep the pointer.  It stays valid for the sink's lifetime and must only
+  /// be used from the attaching thread.
+  Buffer* attach();
+
+  /// Merges every thread's events, sorted by timestamp (stable across
+  /// buffers in attach order).  Safe to call while writers are quiescent.
+  std::vector<Event> drain() const;
+
+  std::size_t threads_attached() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace cbe::trace
+
+#if CBE_TRACE_ENABLED
+/// Records an event into the ambient sink, if one is installed.  `t_ns` is
+/// evaluated only when a sink is present.
+#define CBE_TRACE_EVENT(t_ns, kind, spe, pid, a, b)                       \
+  do {                                                                    \
+    if (::cbe::trace::TraceSink* cbe_trace_sink_ = ::cbe::trace::current()) \
+      cbe_trace_sink_->record((t_ns), (kind), (spe), (pid), (a), (b));    \
+  } while (0)
+/// Compiles `stmt` in only when tracing is built; used for trace-only
+/// bookkeeping that should vanish from the hot path with CBE_TRACE=OFF.
+#define CBE_TRACE_ONLY(stmt) stmt
+#else
+#define CBE_TRACE_EVENT(t_ns, kind, spe, pid, a, b) ((void)0)
+#define CBE_TRACE_ONLY(stmt) ((void)0)
+#endif

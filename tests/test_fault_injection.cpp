@@ -10,6 +10,7 @@
 #include "runtime/mgps.hpp"
 #include "sim/fault.hpp"
 #include "task/synthetic.hpp"
+#include "trace/trace.hpp"
 
 namespace cbe::rt {
 namespace {
@@ -39,6 +40,7 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.loop_reassignments, b.loop_reassignments);
   EXPECT_EQ(a.fault_ppe_fallbacks, b.fault_ppe_fallbacks);
   EXPECT_DOUBLE_EQ(a.wasted_cycles, b.wasted_cycles);
+  EXPECT_DOUBLE_EQ(a.dma_bytes, b.dma_bytes);
   EXPECT_EQ(a.recovered_bootstraps, b.recovered_bootstraps);
   ASSERT_EQ(a.bootstrap_completion_s.size(), b.bootstrap_completion_s.size());
   for (std::size_t i = 0; i < a.bootstrap_completion_s.size(); ++i) {
@@ -251,6 +253,78 @@ TEST(FaultInjection, WholePoolFailureFallsBackToPpe) {
   expect_all_complete(r);
   EXPECT_GT(r.fault_ppe_fallbacks, 0u);
 }
+
+#if CBE_TRACE_ENABLED
+// Recovery actions must appear in the trace, in causal order: the fault is
+// recorded before the watchdog that detects it, the watchdog before the
+// re-offload it triggers, and a fault-path PPE fallback only after the pool
+// was actually lost.
+
+std::int64_t first_time(const trace::TraceSink& sink, trace::EventKind k) {
+  for (const trace::Event& e : sink.events()) {
+    if (e.kind == k) return e.t_ns;
+  }
+  return -1;
+}
+
+TEST(FaultInjection, StragglerRecoveryEventsAppearInCausalOrder) {
+  const task::Workload wl = task::make_synthetic(4, small_workload());
+  RunConfig cfg;
+  cfg.fault_script = {
+      {sim::Time::ms(0.5), sim::FaultKind::Degrade, 3, 0.05},
+  };
+  trace::TraceSink sink;
+  cfg.trace = &sink;
+  EdtlpPolicy pol;
+  const RunResult r = run_workload(wl, pol, cfg);
+  expect_all_complete(r);
+  ASSERT_GT(r.timeouts, 0u);
+
+  const std::int64_t t_degrade =
+      first_time(sink, trace::EventKind::FaultDegrade);
+  const std::int64_t t_watchdog =
+      first_time(sink, trace::EventKind::WatchdogFire);
+  const std::int64_t t_reoffload =
+      first_time(sink, trace::EventKind::Reoffload);
+  ASSERT_GE(t_degrade, 0) << "degrade event missing from trace";
+  ASSERT_GE(t_watchdog, 0) << "watchdog event missing from trace";
+  ASSERT_GE(t_reoffload, 0) << "re-offload event missing from trace";
+  EXPECT_LE(t_degrade, t_watchdog);
+  EXPECT_LE(t_watchdog, t_reoffload);
+  EXPECT_EQ(sink.count(trace::EventKind::WatchdogFire), r.timeouts);
+  EXPECT_EQ(sink.count(trace::EventKind::Reoffload), r.reoffloads);
+}
+
+TEST(FaultInjection, PpeFallbackTracedAfterWholePoolLost) {
+  const task::Workload wl = task::make_synthetic(2, small_workload());
+  RunConfig cfg;
+  for (int s = 0; s < 8; ++s) {
+    cfg.fault_script.push_back(
+        {sim::Time::us(100.0 * (s + 1)), sim::FaultKind::FailStop, s, 1.0});
+  }
+  trace::TraceSink sink;
+  cfg.trace = &sink;
+  EdtlpPolicy pol;
+  const RunResult r = run_workload(wl, pol, cfg);
+  expect_all_complete(r);
+  ASSERT_GT(r.fault_ppe_fallbacks, 0u);
+
+  EXPECT_EQ(sink.count(trace::EventKind::FaultFailStop), 8u);
+  // Every fault-path fallback (b=1) is traced, and causally after a fault:
+  // none can precede the first fail-stop.
+  const std::int64_t first_failstop =
+      first_time(sink, trace::EventKind::FaultFailStop);
+  ASSERT_GE(first_failstop, 0);
+  std::uint64_t fault_fallbacks = 0;
+  for (const trace::Event& e : sink.events()) {
+    if (e.kind == trace::EventKind::PpeFallback && e.b == 1) {
+      ++fault_fallbacks;
+      EXPECT_GE(e.t_ns, first_failstop);
+    }
+  }
+  EXPECT_EQ(fault_fallbacks, r.fault_ppe_fallbacks);
+}
+#endif  // CBE_TRACE_ENABLED
 
 TEST(FaultInjection, ClusterReplaysBitIdentically) {
   const task::Workload wl = task::make_synthetic(12, small_workload());
