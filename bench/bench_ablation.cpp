@@ -139,6 +139,7 @@ void ablate_code_replacement(const task::SyntheticConfig& scfg) {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
+  cli.enforce_usage_or_exit(bench::common_usage("bench_ablation"));
   ablate_ctx_switch(scfg);
   ablate_history_window(scfg);
   ablate_master_bias(scfg);

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 100));
 
   rt::RunConfig blade_cfg = bench::run_config(cli, /*cells=*/2);
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_cluster", "[--bootstraps=N]"));
   const task::Workload wl = task::make_synthetic(bootstraps, scfg);
 
   util::Table table("Section 5.5: " + std::to_string(bootstraps) +

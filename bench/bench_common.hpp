@@ -48,6 +48,19 @@ class MetricsExport {
   trace::MetricsRegistry registry_;
 };
 
+/// Usage-string vocabulary for the shared workload/machine flags consumed
+/// by synthetic_config() and run_config(); a bench appends its own extras
+/// and passes the result to Cli::enforce_usage_or_exit once every flag has
+/// been queried.
+inline std::string common_usage(const char* prog,
+                                const std::string& extra = "") {
+  std::string u = std::string(prog) +
+                  " [--tasks=N] [--seed=S] [--cv=X] [--smt-slowdown=X]"
+                  " [--dispatch-us=X]";
+  if (!extra.empty()) u += " " + extra;
+  return u;
+}
+
 /// Builds the synthetic 42_SC-calibrated workload used by the scheduler
 /// benches.  `--tasks` overrides the scaled-down per-bootstrap task count
 /// (the paper's full-fidelity count is ~267k tasks per bootstrap).

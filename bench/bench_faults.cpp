@@ -149,6 +149,9 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
   bench::MetricsExport metrics(cli);
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_faults",
+                          "[--bootstraps=N] [--fault-seed=S] [--metrics=F]"));
   sweep_spe_failstop(scfg, bootstraps, seed, metrics);
   sweep_dma_faults(scfg, bootstraps, seed, metrics);
   sweep_stragglers(scfg, bootstraps, seed, metrics);

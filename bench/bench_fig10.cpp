@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
+  cli.enforce_usage_or_exit(bench::common_usage("bench_fig10"));
 
   // Anchor: simulated single-bootstrap EDTLP time -> paper's 28.46 s.
   double sim_t1;

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
+  cli.enforce_usage_or_exit(bench::common_usage("bench_fig7"));
 
   const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
                                   9, 10, 11, 12, 13, 14, 15, 16};

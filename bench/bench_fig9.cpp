@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg1 = bench::run_config(cli, /*cells=*/1);
   const auto rcfg2 = bench::run_config(cli, /*cells=*/2);
+  cli.enforce_usage_or_exit(bench::common_usage("bench_fig9"));
 
   const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
                                   9, 10, 11, 12, 13, 14, 15, 16};

@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
   phylo::SubstModel model(
       phylo::GtrParams::hky(2.5, pa.base_frequencies()), 0.8);
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  cli.enforce_usage_or_exit(
+      "bench_opt_ladder [--taxa=N] [--sites=N] [--seed=S]");
   CallRecorder rec;
   phylo::run_bootstrap(pa, model, rng, {}, &rec);
 

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   auto rcfg = bench::run_config(cli);
   bench::MetricsExport metrics(cli);
   metrics.attach(rcfg);
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_table1", "[--metrics=F]"));
 
   const double paper_edtlp[] = {28.46, 29.36, 32.54, 33.12,
                                 37.27, 38.66, 41.87, 43.32};

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
+  cli.enforce_usage_or_exit(bench::common_usage("bench_table2"));
 
   const double paper[] = {28.71, 20.83, 19.37, 18.28,
                           18.10, 20.52, 18.27, 24.40};

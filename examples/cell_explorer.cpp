@@ -14,11 +14,21 @@
 // recovery machinery (watchdog, re-offload, PPE fallback) shows up in the
 // timeline.  --metrics=<file> writes that run's metrics JSON.
 //
+// Checkpoint/restart (see DESIGN.md "Checkpoint/restart"): --checkpoint or
+// --resume switches to the long-running bootstrap job, snapshotting
+// progress crash-consistently every --checkpoint-every replicates.
+// --die-at-event=N arms the process-level kill switch for kill-and-resume
+// testing; --out writes the deterministic end-of-job report.
+//
 //   build/examples/cell_explorer [--bootstraps=N] [--fault-seed=S]
 //       [--spe-fail-rate=P] [--dma-fail-rate=P] [--straggler=P]
 //       [--straggler-factor=F] [--trace=F] [--trace-text=F] [--metrics=F]
+//       [--checkpoint=F] [--checkpoint-every=N] [--resume=F]
+//       [--die-at-event=N] [--taxa=N] [--sites=N] [--seed=S] [--out=F]
+//       [--strict-resume]
 #include <cstdio>
 
+#include "ckpt/runner.hpp"
 #include "runtime/mgps.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/sim_runtime.hpp"
@@ -29,13 +39,123 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+constexpr const char kUsage[] =
+    "cell_explorer [--bootstraps=N] [--tasks=N] [--fault-seed=S]\n"
+    "    [--spe-fail-rate=P] [--dma-fail-rate=P] [--straggler=P]\n"
+    "    [--straggler-factor=F] [--trace=F] [--trace-text=F] [--metrics=F]\n"
+    "    [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
+    "    [--die-at-event=N] [--taxa=N] [--sites=N] [--seed=S] [--out=F]\n"
+    "    [--strict-resume]";
+
+// The long-running checkpointed bootstrap job (kill-and-resume workload).
+int run_checkpointed_job(const std::string& checkpoint,
+                         const std::string& resume, int checkpoint_every,
+                         std::int64_t die_at_event, bool strict_resume,
+                         const cbe::ckpt::BootstrapJob& job,
+                         const std::string& out_path) {
+  using namespace cbe;
+  ckpt::RunState st = ckpt::make_fresh(job);
+  int resumed_at = 0;
+  if (!resume.empty()) {
+    try {
+      st = ckpt::load(resume);
+      resumed_at = static_cast<int>(st.done.size());
+      if (st.job.seed != job.seed || st.job.bootstraps != job.bootstraps ||
+          st.job.taxa != job.taxa || st.job.sites != job.sites) {
+        std::fprintf(stderr,
+                     "resume: checkpoint job (seed %llu, %d bootstraps, "
+                     "%dx%d) disagrees with the command line; the "
+                     "checkpoint's job configuration wins\n",
+                     static_cast<unsigned long long>(st.job.seed),
+                     st.job.bootstraps, st.job.taxa, st.job.sites);
+      }
+    } catch (const ckpt::CkptError& e) {
+      std::fprintf(stderr, "resume: rejected checkpoint '%s' [%s]: %s\n",
+                   resume.c_str(), ckpt::error_kind_name(e.kind()),
+                   e.what());
+      if (strict_resume) return 1;
+      std::fprintf(stderr, "resume: falling back to a cold start\n");
+      st = ckpt::make_fresh(job);
+      resumed_at = 0;
+    }
+  }
+
+  // Arm the kill switch relative to the restored fault-plan position so
+  // "event N" means the same absolute event across a crash.
+  sim::arm_crash_clock(die_at_event, st.crash_position);
+
+  ckpt::RunnerOptions opt;
+  opt.checkpoint_path = checkpoint;
+  opt.checkpoint_every = checkpoint_every;
+  std::printf("bootstrap job: %d replicates (%d taxa x %d sites, seed %llu)",
+              st.job.bootstraps, st.job.taxa, st.job.sites,
+              static_cast<unsigned long long>(st.job.seed));
+  if (resumed_at > 0) {
+    std::printf(", resumed at replicate %d/%d", resumed_at,
+                st.job.bootstraps);
+  }
+  std::printf("\n");
+
+  const ckpt::RunReport report = ckpt::run_job(st, opt);
+  const std::string text = report.to_text();
+  std::fputs(text.c_str(), stdout);
+  if (!out_path.empty()) {
+    if (!trace::write_file(out_path, text)) {
+      std::fprintf(stderr, "failed to write report to %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cbe;
   util::Cli cli(argc, argv);
-  const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 4));
 
+  // Query every flag before enforcing usage, so unknown-flag detection sees
+  // the complete set regardless of which mode runs.
+  const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 4));
   task::SyntheticConfig scfg;
   scfg.tasks_per_bootstrap = static_cast<int>(cli.get_int("tasks", 400));
+
+  sim::FaultConfig fc;
+  fc.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
+  fc.spe_fail_rate = cli.get_double("spe-fail-rate", 0.0);
+  fc.dma_fail_rate = cli.get_double("dma-fail-rate", 0.0);
+  fc.straggler_rate = cli.get_double("straggler", 0.0);
+  fc.straggler_factor = cli.get_double("straggler-factor",
+                                       fc.straggler_factor);
+  const std::string trace_json = cli.get("trace", "");
+  const std::string trace_text = cli.get("trace-text", "");
+  const std::string metrics_path = cli.get("metrics", "");
+
+  const std::string checkpoint = cli.get("checkpoint", "");
+  const std::string resume = cli.get("resume", "");
+  const int checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 1));
+  const std::int64_t die_at_event = cli.get_int("die-at-event", 0);
+  const bool strict_resume = cli.get_bool("strict-resume", false);
+  ckpt::BootstrapJob job;
+  job.taxa = static_cast<int>(cli.get_int("taxa", job.taxa));
+  job.sites = static_cast<int>(cli.get_int("sites", job.sites));
+  job.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
+  job.bootstraps = bootstraps;
+  job.fault_seed = fc.seed;
+  const std::string out_path = cli.get("out", "");
+
+  cli.enforce_usage_or_exit(kUsage);
+
+  if (!checkpoint.empty() || !resume.empty()) {
+    return run_checkpointed_job(checkpoint, resume, checkpoint_every,
+                                die_at_event, strict_resume, job, out_path);
+  }
+
   const task::Workload workload = task::make_synthetic(bootstraps, scfg);
 
   {
@@ -84,13 +204,6 @@ int main(int argc, char** argv) {
   }
 
   {
-    sim::FaultConfig fc;
-    fc.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
-    fc.spe_fail_rate = cli.get_double("spe-fail-rate", 0.0);
-    fc.dma_fail_rate = cli.get_double("dma-fail-rate", 0.0);
-    fc.straggler_rate = cli.get_double("straggler", 0.0);
-    fc.straggler_factor =
-        cli.get_double("straggler-factor", fc.straggler_factor);
     if (fc.enabled()) {
       std::printf("\n");
       util::Table table("Sweep 3: fault injection (seed " +
@@ -123,9 +236,6 @@ int main(int argc, char** argv) {
                   "--fault-seed to sample another fault schedule.\n");
     }
 
-    const std::string trace_json = cli.get("trace", "");
-    const std::string trace_text = cli.get("trace-text", "");
-    const std::string metrics_path = cli.get("metrics", "");
     if (!trace_json.empty() || !trace_text.empty() || !metrics_path.empty()) {
 #if CBE_TRACE_ENABLED
       // One traced MGPS run.  Unless the user picked their own fault rates,

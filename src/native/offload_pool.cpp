@@ -93,27 +93,64 @@ std::future<void> OffloadPool::offload_with_retry(
   return fut;
 }
 
-std::future<void> OffloadPool::offload_with_deadline(
-    std::function<void()> task, std::chrono::microseconds deadline,
-    std::function<void()> on_timeout) {
-  auto done = std::make_shared<std::atomic<bool>>(false);
+bool DeadlineToken::expired() const {
+  std::lock_guard lock(state_->mu);
+  return state_->expired;
+}
+
+bool DeadlineToken::try_commit(const std::function<void()>& commit) const {
+  // One lock serializes commit against the watchdog's expiry declaration:
+  // either the commit runs first (and the watchdog then sees done), or the
+  // expiry lands first (and the commit is refused).  There is no window in
+  // which the task writes while the caller believes it was abandoned.
+  std::lock_guard lock(state_->mu);
+  if (state_->expired) return false;
+  commit();
+  state_->done = true;
+  return true;
+}
+
+std::shared_ptr<DeadlineToken::State> OffloadPool::arm_deadline(
+    std::chrono::microseconds deadline, std::function<void()> on_timeout) {
+  auto state = std::make_shared<DeadlineToken::State>();
   const auto at = std::chrono::steady_clock::now() + deadline;
   {
     std::lock_guard lock(wd_mu_);
     if (!wd_thread_.joinable()) {
       wd_thread_ = std::thread([this] { watchdog_loop(); });
     }
-    deadlines_.push({at, done, std::move(on_timeout)});
+    deadlines_.push({at, state, std::move(on_timeout)});
   }
   wd_cv_.notify_one();
-  return offload_result([task = std::move(task), done] {
+  return state;
+}
+
+std::future<void> OffloadPool::offload_with_deadline(
+    std::function<void()> task, std::chrono::microseconds deadline,
+    std::function<void()> on_timeout) {
+  auto state = arm_deadline(deadline, std::move(on_timeout));
+  return offload_result([task = std::move(task), state] {
     // Mark completion even on a throwing task: the future already carries
     // the failure, a deadline miss on top would be noise.
     struct Mark {
-      std::shared_ptr<std::atomic<bool>> d;
-      ~Mark() { d->store(true, std::memory_order_release); }
-    } mark{done};
+      std::shared_ptr<DeadlineToken::State> s;
+      ~Mark() {
+        std::lock_guard lock(s->mu);
+        s->done = true;
+      }
+    } mark{state};
     task();
+  });
+}
+
+std::future<void> OffloadPool::offload_with_deadline(
+    std::function<void(const DeadlineToken&)> task,
+    std::chrono::microseconds deadline, std::function<void()> on_timeout) {
+  auto state = arm_deadline(deadline, std::move(on_timeout));
+  return offload_result([task = std::move(task), state] {
+    task(DeadlineToken(state));
+    // Deliberately no unconditional done-marking here: a task that never
+    // committed is still outstanding from the watchdog's point of view.
   });
 }
 
@@ -135,7 +172,18 @@ void OffloadPool::watchdog_loop() {
       Deadline d = deadlines_.top();
       deadlines_.pop();
       lock.unlock();
-      if (!d.done->load(std::memory_order_acquire)) {
+      bool missed = false;
+      {
+        // Declare expiry under the token lock: after this block no
+        // try_commit can succeed, so on_timeout (and the caller once it
+        // observes the miss) owns the result storage exclusively.
+        std::lock_guard token_lock(d.state->mu);
+        if (!d.state->done) {
+          d.state->expired = true;
+          missed = true;
+        }
+      }
+      if (missed) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
         if (d.on_timeout) d.on_timeout();
       }

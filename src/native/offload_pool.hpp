@@ -30,6 +30,41 @@ class MetricsRegistry;
 
 namespace cbe::native {
 
+class OffloadPool;
+
+/// Cooperative cancellation handle for deadline off-loads.  The task owns
+/// the computation but must publish results through try_commit(); once the
+/// watchdog declares the deadline expired, try_commit() refuses to run the
+/// commit function.  Expiry declaration and commit are serialized by one
+/// mutex, so a task can never write into storage its caller reclaimed after
+/// observing the timeout — the two outcomes (committed / expired) are
+/// mutually exclusive.
+class DeadlineToken {
+ public:
+  /// True once the watchdog declared this deadline missed.  Advisory: use
+  /// it to stop early; only try_commit() is authoritative for publication.
+  bool expired() const;
+
+  /// Runs `commit` and marks the task done, unless the deadline already
+  /// expired — then `commit` is not invoked at all and false is returned.
+  /// The caller's timeout handler is guaranteed to have exclusive ownership
+  /// of the result storage once it runs, because expiry and commit hold the
+  /// same lock.
+  bool try_commit(const std::function<void()>& commit) const;
+
+ private:
+  friend class OffloadPool;
+  struct State {
+    std::mutex mu;
+    bool done = false;     ///< task committed (or legacy task finished)
+    bool expired = false;  ///< watchdog declared the deadline missed
+  };
+  explicit DeadlineToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
 class OffloadPool {
  public:
   /// `workers` <= 0 selects hardware_concurrency - 1 (min 1).
@@ -79,9 +114,23 @@ class OffloadPool {
   /// by then, the miss is counted and `on_timeout` (if any) fires once on
   /// the watchdog thread.  The task itself runs to completion regardless —
   /// host threads cannot be safely killed — so this detects stragglers
-  /// rather than cancelling them.
+  /// rather than cancelling them.  NOTE: because the abandoned task keeps
+  /// running, it must not write through references the timeout handler may
+  /// invalidate; use the DeadlineToken overload for that.
   std::future<void> offload_with_deadline(
       std::function<void()> task, std::chrono::microseconds deadline,
+      std::function<void()> on_timeout = {});
+
+  /// Deadline off-load with safe result publication.  The task receives a
+  /// DeadlineToken and must publish its results via token.try_commit(...);
+  /// by the time `on_timeout` runs, the deadline has been declared expired
+  /// under the token's lock, so any later try_commit is a guaranteed no-op
+  /// and the caller may free or reuse the result storage inside
+  /// `on_timeout` (or after the miss is observed) without racing the
+  /// abandoned task.
+  std::future<void> offload_with_deadline(
+      std::function<void(const DeadlineToken&)> task,
+      std::chrono::microseconds deadline,
       std::function<void()> on_timeout = {});
 
   /// Work-shares [begin, end) across up to `degree` participants (the
@@ -122,11 +171,13 @@ class OffloadPool {
  private:
   struct Deadline {
     std::chrono::steady_clock::time_point at;
-    std::shared_ptr<std::atomic<bool>> done;
+    std::shared_ptr<DeadlineToken::State> state;
     std::function<void()> on_timeout;
     bool operator>(const Deadline& o) const noexcept { return at > o.at; }
   };
 
+  std::shared_ptr<DeadlineToken::State> arm_deadline(
+      std::chrono::microseconds deadline, std::function<void()> on_timeout);
   void enqueue(std::function<void()> job);
   void worker_loop(int index);
   void watchdog_loop();

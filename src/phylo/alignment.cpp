@@ -28,15 +28,32 @@ std::uint8_t char_to_state(char c) noexcept {
   }
 }
 
+bool valid_sequence_char(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': case 'C': case 'c': case 'G': case 'g':
+    case 'T': case 't': case 'U': case 'u': case 'N': case 'n':
+    case '-': case '?':
+      return true;
+    default:
+      return false;
+  }
+}
+
 Alignment::Alignment(std::vector<std::string> names,
                      std::vector<std::vector<std::uint8_t>> sequences)
     : names_(std::move(names)), seqs_(std::move(sequences)) {
   if (names_.size() != seqs_.size()) {
-    throw std::invalid_argument("Alignment: names/sequences size mismatch");
+    throw AlignmentError(AlignmentError::Kind::SizeMismatch,
+                         "Alignment: names/sequences size mismatch");
+  }
+  if (names_.empty()) {
+    throw AlignmentError(AlignmentError::Kind::SizeMismatch,
+                         "Alignment: zero taxa");
   }
   for (const auto& s : seqs_) {
     if (s.size() != seqs_.front().size()) {
-      throw std::invalid_argument("Alignment: ragged sequences");
+      throw AlignmentError(AlignmentError::Kind::RaggedRows,
+                           "Alignment: ragged sequences");
     }
   }
 }
@@ -56,20 +73,49 @@ std::array<double, 4> Alignment::base_frequencies() const {
 
 Alignment Alignment::parse_phylip(const std::string& text) {
   std::istringstream in(text);
-  int ntaxa = 0, nsites = 0;
-  if (!(in >> ntaxa >> nsites) || ntaxa <= 0 || nsites <= 0) {
-    throw std::runtime_error("parse_phylip: bad header");
+  long long ntaxa = 0, nsites = 0;
+  if (!(in >> ntaxa >> nsites)) {
+    throw AlignmentError(AlignmentError::Kind::BadHeader,
+                         "parse_phylip: bad header (expected two integers)");
+  }
+  if (ntaxa <= 0 || nsites <= 0) {
+    throw AlignmentError(AlignmentError::Kind::BadHeader,
+                         "parse_phylip: header requires positive taxon and "
+                         "site counts, got " + std::to_string(ntaxa) + " x " +
+                         std::to_string(nsites));
+  }
+  // An adversarial header must not drive allocation: the sequences that back
+  // it up have to actually be present, so bound both dimensions by the
+  // input size itself.
+  if (static_cast<unsigned long long>(ntaxa) > text.size() ||
+      static_cast<unsigned long long>(nsites) > text.size()) {
+    throw AlignmentError(AlignmentError::Kind::Truncated,
+                         "parse_phylip: header promises more data than the "
+                         "input contains");
   }
   std::vector<std::string> names;
   std::vector<std::vector<std::uint8_t>> seqs;
-  for (int i = 0; i < ntaxa; ++i) {
+  for (long long i = 0; i < ntaxa; ++i) {
     std::string name, seq;
     if (!(in >> name >> seq)) {
-      throw std::runtime_error("parse_phylip: truncated input");
+      throw AlignmentError(AlignmentError::Kind::Truncated,
+                           "parse_phylip: truncated input (got " +
+                           std::to_string(i) + " of " +
+                           std::to_string(ntaxa) + " sequences)");
     }
-    if (static_cast<int>(seq.size()) != nsites) {
-      throw std::runtime_error("parse_phylip: sequence length mismatch for " +
-                               name);
+    if (static_cast<long long>(seq.size()) != nsites) {
+      throw AlignmentError(AlignmentError::Kind::RaggedRows,
+                           "parse_phylip: sequence length mismatch for " +
+                           name + " (got " + std::to_string(seq.size()) +
+                           ", header says " + std::to_string(nsites) + ")");
+    }
+    for (std::size_t p = 0; p < seq.size(); ++p) {
+      if (!valid_sequence_char(seq[p])) {
+        throw AlignmentError(AlignmentError::Kind::InvalidCharacter,
+                             "parse_phylip: invalid character '" +
+                             std::string(1, seq[p]) + "' in sequence " +
+                             name + " at site " + std::to_string(p));
+      }
     }
     std::vector<std::uint8_t> states(seq.size());
     std::transform(seq.begin(), seq.end(), states.begin(), char_to_state);

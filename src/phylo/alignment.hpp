@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,33 @@ enum : std::uint8_t { kA = 0, kC = 1, kG = 2, kT = 3, kGap = 4 };
 
 char state_to_char(std::uint8_t s) noexcept;
 std::uint8_t char_to_state(char c) noexcept;
+
+/// True for characters a sequence is allowed to contain: nucleotides
+/// (ACGT/U, either case), N for unknown, and '-'/'?' for gaps.  Anything
+/// else in an input file is rejected as malformed rather than silently
+/// coerced to a gap.
+bool valid_sequence_char(char c) noexcept;
+
+/// Typed parse/validation failure for alignment input paths; the kind makes
+/// adversarial-input tests (and callers that want to fall back) precise
+/// about what was wrong.
+class AlignmentError : public std::runtime_error {
+ public:
+  enum class Kind {
+    BadHeader,         ///< missing/zero/negative taxon or site counts
+    Truncated,         ///< input ended before the promised data
+    RaggedRows,        ///< sequences of unequal length
+    InvalidCharacter,  ///< a character outside the nucleotide alphabet
+    SizeMismatch,      ///< names/sequences vectors disagree
+  };
+
+  AlignmentError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 class Alignment {
  public:
@@ -42,7 +70,8 @@ class Alignment {
   std::array<double, 4> base_frequencies() const;
 
   /// Parses a minimal PHYLIP-like text (ntaxa nsites header, then
-  /// "name sequence" lines).  Throws std::runtime_error on malformed input.
+  /// "name sequence" lines).  Throws AlignmentError on malformed input
+  /// (bad header, truncation, ragged rows, invalid characters).
   static Alignment parse_phylip(const std::string& text);
   std::string to_phylip() const;
 

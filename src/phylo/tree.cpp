@@ -335,6 +335,56 @@ std::string Tree::newick(const std::vector<std::string>* names) const {
   return out.str();
 }
 
+Tree::Flat Tree::to_flat() const {
+  Flat flat;
+  flat.n_taxa = n_taxa_;
+  flat.edges.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    flat.edges.push_back(Flat::FlatEdge{e.a, e.b, e.length});
+  }
+  flat.adj = adj_;
+  return flat;
+}
+
+Tree Tree::from_flat(const Flat& flat) {
+  if (flat.n_taxa < 3) {
+    throw std::runtime_error("Tree::from_flat: fewer than 3 taxa");
+  }
+  // A complete unrooted binary tree over n taxa has 2n-2 nodes and 2n-3
+  // edges; anything else is a corrupted record.
+  const std::size_t nodes = static_cast<std::size_t>(2 * flat.n_taxa) - 2;
+  const std::size_t edges = static_cast<std::size_t>(2 * flat.n_taxa) - 3;
+  if (flat.adj.size() != nodes || flat.edges.size() != edges) {
+    throw std::runtime_error("Tree::from_flat: node/edge count mismatch");
+  }
+  Tree t(flat.n_taxa, 0, 1, 2);
+  t.edges_.clear();
+  t.adj_.assign(flat.adj.begin(), flat.adj.end());
+  for (const Flat::FlatEdge& e : flat.edges) {
+    if (e.a < 0 || e.b < 0 || e.a >= static_cast<int>(nodes) ||
+        e.b >= static_cast<int>(nodes)) {
+      throw std::runtime_error("Tree::from_flat: edge endpoint out of range");
+    }
+    t.edges_.push_back(Edge{e.a, e.b, e.length});
+  }
+  for (const auto& nbs : t.adj_) {
+    for (const Neighbor& nb : nbs) {
+      if (nb.node < 0 || nb.node >= static_cast<int>(nodes) || nb.edge < 0 ||
+          nb.edge >= static_cast<int>(edges)) {
+        throw std::runtime_error("Tree::from_flat: neighbor out of range");
+      }
+    }
+  }
+  t.inserted_ = flat.n_taxa;
+  t.revision_ = 0;
+  try {
+    t.check_consistency();
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(std::string("Tree::from_flat: ") + e.what());
+  }
+  return t;
+}
+
 void Tree::check_consistency() const {
   for (int n = 0; n < node_count(); ++n) {
     const auto& nbs = adj_[static_cast<std::size_t>(n)];

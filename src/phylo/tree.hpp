@@ -93,6 +93,24 @@ class Tree {
   /// corruption (used by property tests after random NNI storms).
   void check_consistency() const;
 
+  /// Flat, exact representation for checkpointing: edge table and adjacency
+  /// lists verbatim, so a restored tree reproduces not just the topology and
+  /// branch lengths but the edge/node numbering and neighbor order (which
+  /// downstream traversals depend on).
+  struct Flat {
+    int n_taxa = 0;
+    struct FlatEdge {
+      int a = 0, b = 0;
+      double length = 0.0;
+    };
+    std::vector<FlatEdge> edges;
+    std::vector<std::vector<Neighbor>> adj;
+  };
+  Flat to_flat() const;
+  /// Rebuilds a complete tree from a flat record; throws std::runtime_error
+  /// when the record is internally inconsistent (corrupted checkpoint).
+  static Tree from_flat(const Flat& flat);
+
  private:
   struct Edge {
     int a, b;

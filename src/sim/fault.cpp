@@ -1,8 +1,14 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "util/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
 
 namespace cbe::sim {
 
@@ -69,6 +75,34 @@ FaultPlan FaultPlan::from_script(std::vector<FaultEvent> events,
                      return a.at < b.at;
                    });
   return plan;
+}
+
+namespace {
+std::atomic<std::int64_t> g_crash_budget{0};    // 0 = disarmed
+std::atomic<std::int64_t> g_crash_position{0};  // events consumed
+}  // namespace
+
+void arm_crash_clock(std::int64_t die_at_event,
+                     std::int64_t start_position) noexcept {
+  g_crash_position.store(start_position, std::memory_order_relaxed);
+  g_crash_budget.store(die_at_event > 0 ? die_at_event : 0,
+                       std::memory_order_relaxed);
+}
+
+void crash_clock_tick() noexcept {
+  const std::int64_t pos =
+      g_crash_position.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t budget = g_crash_budget.load(std::memory_order_relaxed);
+  if (budget > 0 && pos >= budget) {
+#if defined(__unix__) || defined(__APPLE__)
+    std::raise(SIGKILL);
+#endif
+    std::_Exit(137);  // unreachable on POSIX; hard exit elsewhere
+  }
+}
+
+std::int64_t crash_clock_position() noexcept {
+  return g_crash_position.load(std::memory_order_relaxed);
 }
 
 bool FaultPlan::dma_fails(std::uint64_t transfer_index) const noexcept {

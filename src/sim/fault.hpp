@@ -46,6 +46,13 @@ struct FaultConfig {
   Time horizon;
   /// Probability that a whole blade fail-stops (run_cluster only).
   double blade_fail_rate = 0.0;
+  /// Process-level kill switch for kill-and-resume tests: the run dies (via
+  /// SIGKILL, so no destructors or atexit handlers soften the crash) when
+  /// the crash clock reaches this many events.  Zero disables it.  Armed by
+  /// the checkpoint driver with arm_crash_clock(); the clock ticks at
+  /// replicate boundaries and inside the checkpoint writer's atomicity
+  /// window (after the temp file is written, before the rename).
+  std::int64_t die_at_event = 0;
 
   bool enabled() const noexcept {
     return spe_fail_rate > 0.0 || dma_fail_rate > 0.0 ||
@@ -85,5 +92,21 @@ class FaultPlan {
 /// Deterministic uniform [0,1) draw from a (seed, salt) pair; shared by the
 /// plan builder and run_cluster's blade fail-stop decisions.
 double fault_hash01(std::uint64_t seed, std::uint64_t salt) noexcept;
+
+// -- Process-level crash clock (kill-and-resume testing) ---------------------
+//
+// A single process-wide event counter.  When armed with a positive budget,
+// the tick that exhausts it kills the process with SIGKILL — the hard crash
+// the checkpoint subsystem must survive.  `start_position` seeds the counter
+// when a resumed run restores the fault-plan position from a checkpoint, so
+// "die at event N" refers to the same absolute event index across the crash.
+
+/// Arms (or, with die_at_event <= 0, disarms) the crash clock.
+void arm_crash_clock(std::int64_t die_at_event,
+                     std::int64_t start_position = 0) noexcept;
+/// Advances the clock by one event; kills the process on the fatal tick.
+void crash_clock_tick() noexcept;
+/// Events consumed so far (the position a checkpoint records).
+std::int64_t crash_clock_position() noexcept;
 
 }  // namespace cbe::sim

@@ -1,11 +1,12 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
 namespace cbe::util {
 
 Cli::Cli(int argc, const char* const* argv) {
+  prog_ = argc > 0 ? argv[0] : "prog";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -40,19 +41,34 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const std::string v = get(name, "");
   if (v.empty()) return def;
-  return std::strtoll(v.c_str(), nullptr, 10);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects an integer, got '" + v + "'");
+    return def;
+  }
+  return parsed;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const std::string v = get(name, "");
   if (v.empty()) return def;
-  return std::strtod(v.c_str(), nullptr);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects a number, got '" + v + "'");
+    return def;
+  }
+  return parsed;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
   const std::string v = get(name, "");
   if (v.empty()) return def;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  errors_.push_back("--" + name + " expects a boolean, got '" + v + "'");
+  return def;
 }
 
 std::vector<std::string> Cli::unused() const {
@@ -62,6 +78,21 @@ std::vector<std::string> Cli::unused() const {
     if (!queried_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+void Cli::enforce_usage_or_exit(const std::string& usage) const {
+  bool bad = false;
+  for (const std::string& e : errors_) {
+    std::fprintf(stderr, "%s: %s\n", prog_.c_str(), e.c_str());
+    bad = true;
+  }
+  for (const std::string& f : unused()) {
+    std::fprintf(stderr, "%s: unknown flag --%s\n", prog_.c_str(), f.c_str());
+    bad = true;
+  }
+  if (!bad) return;
+  std::fprintf(stderr, "usage: %s\n", usage.c_str());
+  std::exit(2);
 }
 
 }  // namespace cbe::util

@@ -1,5 +1,11 @@
 // Minimal command-line flag parser for bench/example binaries.
 // Supports --name=value, --name value, and boolean --name / --no-name.
+//
+// Malformed values (non-numeric where a number is expected, missing values)
+// are recorded rather than silently coerced; a binary calls
+// enforce_usage_or_exit() once all flags have been queried, and any recorded
+// error or unknown flag prints a diagnostic plus the usage string and exits
+// with code 2 (the conventional usage-error status).
 #pragma once
 
 #include <cstdint>
@@ -25,10 +31,21 @@ class Cli {
   /// Flags that were provided but never queried; used to reject typos.
   std::vector<std::string> unused() const;
 
+  /// Malformed values seen by the typed getters so far (e.g. --n=abc where
+  /// an integer was expected), as human-readable diagnostics.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Validates the parse after every flag has been queried: any recorded
+  /// value error or unqueried (unknown) flag prints the diagnostics and
+  /// `usage` to stderr and exits the process with code 2.
+  void enforce_usage_or_exit(const std::string& usage) const;
+
  private:
   std::map<std::string, std::string> flags_;
   mutable std::map<std::string, bool> queried_;
+  mutable std::vector<std::string> errors_;
   std::vector<std::string> positional_;
+  std::string prog_;
 };
 
 }  // namespace cbe::util

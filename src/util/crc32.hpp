@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the integrity
+// check the checkpoint format stamps on every section so bit-flips and
+// truncation are detected before any payload is interpreted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbe::util {
+
+/// Incremental update: feed `crc32(data, len, prev)` to continue a running
+/// checksum; start from the default to begin a fresh one.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace cbe::util

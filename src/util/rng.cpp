@@ -102,4 +102,22 @@ bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::split() noexcept { return Rng((*this)()); }
 
+RngState Rng::state() const noexcept {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[static_cast<std::size_t>(i)] = s_[i];
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(cached_normal_));
+  __builtin_memcpy(&bits, &cached_normal_, sizeof(bits));
+  st.cached_normal_bits = bits;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& st) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[static_cast<std::size_t>(i)];
+  __builtin_memcpy(&cached_normal_, &st.cached_normal_bits,
+                   sizeof(cached_normal_));
+  has_cached_normal_ = st.has_cached_normal;
+}
+
 }  // namespace cbe::util

@@ -4,6 +4,7 @@
 // through this generator so every experiment is reproducible from a seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -11,6 +12,20 @@ namespace cbe::util {
 
 /// splitmix64 step; used for seeding and as a cheap stateless hash.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Complete serializable snapshot of an Rng: the xoshiro256** words plus the
+/// Box-Muller cache (as raw bits so restore is bit-exact).  Used by the
+/// checkpoint subsystem to resume a stream exactly where it stopped.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  std::uint64_t cached_normal_bits = 0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState& a, const RngState& b) noexcept {
+    return a.s == b.s && a.cached_normal_bits == b.cached_normal_bits &&
+           a.has_cached_normal == b.has_cached_normal;
+  }
+};
 
 /// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -56,6 +71,10 @@ class Rng {
 
   /// Derive an independent child generator (for per-process streams).
   Rng split() noexcept;
+
+  /// Snapshot / restore the full generator state (bit-exact resume).
+  RngState state() const noexcept;
+  void set_state(const RngState& st) noexcept;
 
  private:
   std::uint64_t s_[4];

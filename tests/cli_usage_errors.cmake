@@ -1,0 +1,45 @@
+# CLI hardening: unknown flags, missing values, and non-numeric arguments
+# must exit with code 2 (the conventional usage-error status) and print a
+# usage line to stderr — for the explorer and for every bench that takes
+# flags.  Invoked by ctest as:
+#   cmake -DBINDIR=<build-dir> -P cli_usage_errors.cmake
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED BINDIR)
+  message(FATAL_ERROR "usage: cmake -DBINDIR=... -P cli_usage_errors.cmake")
+endif()
+
+function(expect_usage_error exe)
+  execute_process(
+    COMMAND "${exe}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  get_filename_component(name "${exe}" NAME)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "${name} ${ARGN}: expected exit code 2, "
+            "got ${rc}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  if(NOT stderr MATCHES "usage:")
+    message(FATAL_ERROR "${name} ${ARGN}: no usage line on stderr:\n${stderr}")
+  endif()
+endfunction()
+
+set(explorer "${BINDIR}/examples/cell_explorer")
+
+# Unknown flag, misspelled flag, non-numeric value, missing value.
+expect_usage_error("${explorer}" --no-such-flag)
+expect_usage_error("${explorer}" --bootstrap=4)      # typo of --bootstraps
+expect_usage_error("${explorer}" --bootstraps=many)
+expect_usage_error("${explorer}" --seed)
+expect_usage_error("${explorer}" --checkpoint-every=1.5x)
+
+# Every flag-taking bench rejects the same classes of bad input.
+foreach(b bench_table1 bench_table2 bench_fig7 bench_fig8 bench_fig9
+        bench_fig10 bench_ablation bench_cluster bench_faults
+        bench_opt_ladder bench_ckpt)
+  expect_usage_error("${BINDIR}/bench/${b}" --no-such-flag)
+  expect_usage_error("${BINDIR}/bench/${b}" --seed=notanumber)
+endforeach()
+
+message(STATUS "cli-usage-errors: all binaries reject malformed flags with exit code 2")

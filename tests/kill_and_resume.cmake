@@ -1,0 +1,121 @@
+# Kill-and-resume equivalence, end to end, with a real SIGKILL:
+#
+#   1. an uninterrupted run writes the baseline report;
+#   2. a second run is killed mid-job by the --die-at-event crash clock
+#      (SIGKILL from inside the process, nothing cooperative about it),
+#      once at a replicate boundary and once INSIDE the atomic writer's
+#      window (temp file durable, rename not yet done);
+#   3. each crashed run is resumed from its surviving checkpoint and must
+#      reproduce the baseline report byte for byte;
+#   4. a garbage checkpoint is rejected: --strict-resume fails loudly,
+#      the default falls back to a cold start that still matches baseline.
+#
+# Invoked by ctest as:
+#   cmake -DEXPLORER=<cell_explorer> -DWORKDIR=<dir> -P kill_and_resume.cmake
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED EXPLORER OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DEXPLORER=... -DWORKDIR=... -P kill_and_resume.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Small but multi-replicate job; every flag below pins the run so the only
+# degree of freedom between the three runs is where they were killed.
+set(JOB --bootstraps=4 --taxa=8 --sites=120 --seed=2024)
+
+function(run_explorer out_rc out_stdout out_stderr)
+  execute_process(
+    COMMAND "${EXPLORER}" ${ARGN}
+    WORKING_DIRECTORY "${WORKDIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  set(${out_rc} "${rc}" PARENT_SCOPE)
+  set(${out_stdout} "${stdout}" PARENT_SCOPE)
+  set(${out_stderr} "${stderr}" PARENT_SCOPE)
+endfunction()
+
+# --- 1. uninterrupted baseline ---------------------------------------------
+run_explorer(rc out err ${JOB} --checkpoint=base.ckpt --out=base.txt)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline run failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+# Crash-clock tick layout for this job (checkpoint-every=1): each replicate
+# ticks once at its boundary, each snapshot ticks twice (temp durable /
+# rename done) -> replicate i's snapshot finishes at event 3*(i+1).
+foreach(case IN ITEMS "boundary:4:1" "window:5:1" "post-rename:6:2")
+  string(REPLACE ":" ";" parts "${case}")
+  list(GET parts 0 name)
+  list(GET parts 1 die_at)
+  list(GET parts 2 expect_done)
+
+  # --- 2. killed run -------------------------------------------------------
+  run_explorer(rc out err
+    ${JOB} --checkpoint=kr_${name}.ckpt --die-at-event=${die_at})
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "[${name}] run with --die-at-event=${die_at} was "
+            "supposed to be killed but exited cleanly:\n${out}")
+  endif()
+  if(NOT EXISTS "${WORKDIR}/kr_${name}.ckpt")
+    message(FATAL_ERROR "[${name}] no checkpoint survived the kill")
+  endif()
+  if(name STREQUAL "window")
+    # Killed between temp-file fsync and rename: the torn temp must still be
+    # on disk here (the resume below will harmlessly rename over it), and
+    # the visible checkpoint must be the *previous* snapshot.
+    if(NOT EXISTS "${WORKDIR}/kr_window.ckpt.tmp")
+      message(FATAL_ERROR "[window] expected a leftover .tmp from the kill "
+              "inside the atomic-write window")
+    endif()
+  endif()
+
+  # --- 3. resume must continue, not restart, and match baseline ------------
+  run_explorer(rc out err
+    ${JOB} --checkpoint=kr_${name}.ckpt --resume=kr_${name}.ckpt
+    --strict-resume --out=resumed_${name}.txt)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "[${name}] resume failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  if(NOT out MATCHES "resumed at replicate ${expect_done}/4")
+    message(FATAL_ERROR "[${name}] expected resume from replicate "
+            "${expect_done}, got:\n${out}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORKDIR}/base.txt" "${WORKDIR}/resumed_${name}.txt"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "[${name}] resumed report differs from the "
+            "uninterrupted baseline (bit-identity violated)")
+  endif()
+endforeach()
+
+# --- 4. corrupt checkpoint: loud strict failure, clean fallback ------------
+file(WRITE "${WORKDIR}/garbage.ckpt" "this is not a checkpoint")
+run_explorer(rc out err ${JOB} --resume=garbage.ckpt --strict-resume)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--strict-resume accepted a garbage checkpoint")
+endif()
+if(NOT err MATCHES "rejected checkpoint")
+  message(FATAL_ERROR "strict resume failure did not explain itself:\n${err}")
+endif()
+
+run_explorer(rc out err ${JOB} --resume=garbage.ckpt --out=fallback.txt)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold-start fallback failed (rc=${rc}):\n${err}")
+endif()
+if(NOT err MATCHES "falling back to a cold start")
+  message(FATAL_ERROR "fallback did not announce itself:\n${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORKDIR}/base.txt" "${WORKDIR}/fallback.txt"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "cold-start fallback report differs from baseline")
+endif()
+
+message(STATUS "kill-and-resume: all cases bit-identical to baseline")

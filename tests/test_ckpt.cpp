@@ -1,0 +1,349 @@
+// Checkpoint subsystem: container-format integrity (every corruption mode
+// maps to a distinct, actionable error), domain round-trips, crash
+// consistency of the atomic writer, and in-process resume equivalence (a
+// run continued from a snapshot is bit-identical to an uninterrupted one).
+// The subprocess SIGKILL variant lives in tests/kill_and_resume.cmake.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/format.hpp"
+#include "ckpt/runner.hpp"
+
+namespace cbe::ckpt {
+namespace {
+
+constexpr std::size_t kHeaderSize = 36;
+
+std::uint64_t read_u64(const std::vector<std::uint8_t>& b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(b[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+// Walks the serialized section frames: returns (tag, payload offset,
+// payload length) per section.
+struct Frame {
+  std::string tag;
+  std::size_t payload_at;
+  std::size_t payload_len;
+};
+std::vector<Frame> frames(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Frame> out;
+  std::size_t pos = kHeaderSize;
+  while (pos < bytes.size()) {
+    Frame f;
+    f.tag = std::string(reinterpret_cast<const char*>(bytes.data() + pos), 4);
+    f.payload_len = static_cast<std::size_t>(read_u64(bytes, pos + 4));
+    f.payload_at = pos + 12;
+    out.push_back(f);
+    pos += 12 + f.payload_len + 4;
+  }
+  return out;
+}
+
+ErrorKind parse_failure(const std::vector<std::uint8_t>& bytes,
+                        std::string* section = nullptr) {
+  try {
+    (void)from_image(CheckpointImage::parse(bytes));
+  } catch (const CkptError& e) {
+    if (section != nullptr) *section = e.section();
+    return e.kind();
+  }
+  ADD_FAILURE() << "corrupted checkpoint was accepted";
+  return ErrorKind::Io;
+}
+
+BootstrapJob tiny_job() {
+  BootstrapJob job;
+  job.taxa = 6;
+  job.sites = 60;
+  job.bootstraps = 3;
+  job.seed = 77;
+  return job;
+}
+
+// A small but fully populated state (two completed replicates).
+RunState sample_state() {
+  RunState st = make_fresh(tiny_job());
+  st.job.bootstraps = 2;
+  run_job(st, {});
+  st.job.bootstraps = tiny_job().bootstraps;
+  return st;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(CkptFormat, ImageRoundtrip) {
+  CheckpointImage image;
+  image.seed = 0xdeadbeefcafe1234ull;
+  image.add("AAAA", {1, 2, 3});
+  image.add("BBBB", {});
+  image.add("CCCC", {0xff});
+  const CheckpointImage back = CheckpointImage::parse(image.serialize());
+  EXPECT_EQ(back.seed, image.seed);
+  ASSERT_EQ(back.sections().size(), 3u);
+  EXPECT_EQ(back.sections()[0].tag, "AAAA");
+  EXPECT_EQ(back.sections()[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(back.sections()[1].payload.size(), 0u);
+  EXPECT_EQ(back.require("CCCC").payload,
+            (std::vector<std::uint8_t>{0xff}));
+}
+
+TEST(CkptFormat, PayloadRoundtripIsBitExact) {
+  PayloadWriter w;
+  w.u8(200);
+  w.u32(0xfeedf00du);
+  w.i32(-17);
+  w.i64(-(1ll << 40));
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.str("hello");
+  const std::vector<std::uint8_t> bytes = w.take();
+  PayloadReader r(bytes, "TEST");
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u32(), 0xfeedf00du);
+  EXPECT_EQ(r.i32(), -17);
+  EXPECT_EQ(r.i64(), -(1ll << 40));
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(CkptFormat, RejectsTruncation) {
+  const RunState st = sample_state();
+  const std::vector<std::uint8_t> good = to_image(st).serialize();
+  // Shorter than the header.
+  EXPECT_EQ(parse_failure({good.begin(), good.begin() + 10}),
+            ErrorKind::Truncated);
+  // Ends inside a section frame.
+  EXPECT_EQ(parse_failure({good.begin(), good.begin() + kHeaderSize + 6}),
+            ErrorKind::Truncated);
+  // Ends inside a section payload.
+  EXPECT_EQ(
+      parse_failure({good.begin(), good.begin() + good.size() / 2}),
+      ErrorKind::Truncated);
+}
+
+TEST(CkptFormat, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = to_image(sample_state()).serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_EQ(parse_failure(bytes), ErrorKind::BadMagic);
+}
+
+TEST(CkptFormat, RejectsVersionBump) {
+  std::vector<std::uint8_t> bytes = to_image(sample_state()).serialize();
+  bytes[8] += 1;  // version field
+  try {
+    (void)CheckpointImage::parse(bytes);
+    FAIL() << "future-version checkpoint was accepted";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::BadVersion);
+    // The message must name both versions so the user knows what to do.
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(kFormatVersion + 1)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(kFormatVersion)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CkptFormat, RejectsForeignBuildConfig) {
+  std::vector<std::uint8_t> bytes = to_image(sample_state()).serialize();
+  bytes[12] ^= 0x01;  // config-hash field
+  EXPECT_EQ(parse_failure(bytes), ErrorKind::BadConfigHash);
+}
+
+TEST(CkptFormat, RejectsHeaderCorruption) {
+  std::vector<std::uint8_t> bytes = to_image(sample_state()).serialize();
+  bytes[20] ^= 0x40;  // seed field: covered only by the header CRC
+  std::string section;
+  EXPECT_EQ(parse_failure(bytes, &section), ErrorKind::CrcMismatch);
+  EXPECT_EQ(section, "HEAD");
+}
+
+TEST(CkptFormat, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = to_image(sample_state()).serialize();
+  bytes.push_back(0x00);
+  EXPECT_EQ(parse_failure(bytes), ErrorKind::Malformed);
+}
+
+TEST(CkptFormat, BitFlipInEverySectionNamesTheSection) {
+  const RunState st = sample_state();
+  const std::vector<std::uint8_t> good = to_image(st).serialize();
+  const std::vector<Frame> fs = frames(good);
+  ASSERT_EQ(fs.size(), 5u);  // JOB, RNG, PROG, SCHD, FALT
+  for (const Frame& f : fs) {
+    ASSERT_GT(f.payload_len, 0u) << f.tag;
+    for (const std::size_t at :
+         {f.payload_at, f.payload_at + f.payload_len / 2,
+          f.payload_at + f.payload_len - 1}) {
+      std::vector<std::uint8_t> bytes = good;
+      bytes[at] ^= 0x10;
+      std::string section;
+      EXPECT_EQ(parse_failure(bytes, &section), ErrorKind::CrcMismatch)
+          << f.tag << " flipped at " << at;
+      // The diagnostic must name the damaged section, nothing else.
+      EXPECT_EQ(section, f.tag) << "flipped at " << at;
+    }
+  }
+}
+
+TEST(CkptFormat, MissingSectionIsDiagnosed) {
+  const RunState st = sample_state();
+  const CheckpointImage full = to_image(st);
+  for (const Section& skip : full.sections()) {
+    CheckpointImage partial;
+    partial.seed = full.seed;
+    for (const Section& s : full.sections()) {
+      if (s.tag != skip.tag) partial.add(s.tag, s.payload);
+    }
+    try {
+      (void)from_image(CheckpointImage::parse(partial.serialize()));
+      FAIL() << "checkpoint without " << skip.tag << " was accepted";
+    } catch (const CkptError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::MissingSection) << skip.tag;
+      EXPECT_EQ(e.section(), skip.tag);
+    }
+  }
+}
+
+TEST(CkptFormat, HeaderSeedMustMatchJobSection) {
+  CheckpointImage image = to_image(sample_state());
+  image.seed ^= 1;
+  EXPECT_EQ(parse_failure(image.serialize()), ErrorKind::Malformed);
+}
+
+TEST(CkptFormat, MissingFileIsAnIoError) {
+  try {
+    (void)load(temp_path("no_such_checkpoint.ckpt"));
+    FAIL() << "missing file was loaded";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Io);
+  }
+}
+
+TEST(CkptState, SaveLoadRoundtripIsBitExact) {
+  const RunState st = sample_state();
+  const std::string path = temp_path("roundtrip.ckpt");
+  save(path, st);
+  const RunState back = load(path);
+  EXPECT_EQ(back.job.seed, st.job.seed);
+  EXPECT_EQ(back.job.bootstraps, st.job.bootstraps);
+  EXPECT_TRUE(back.master == st.master);
+  EXPECT_EQ(back.done.size(), st.done.size());
+  EXPECT_TRUE(back.sched == st.sched);
+  EXPECT_EQ(back.crash_position, st.crash_position);
+  // Strongest check: the round-tripped state re-serializes to the same
+  // bytes, so trees and doubles survived exactly.
+  EXPECT_EQ(to_image(back).serialize(), to_image(st).serialize());
+  std::remove(path.c_str());
+}
+
+TEST(CkptState, AtomicWriteLeavesNoTempAndIgnoresStaleTemp) {
+  const std::string path = temp_path("atomic.ckpt");
+  const std::string tmp = path + ".tmp";
+  // A stale temp file from a crashed writer must affect nothing.
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn garbage from a dead process", f);
+    std::fclose(f);
+  }
+  const RunState st = sample_state();
+  save(path, st);
+  EXPECT_EQ(std::fopen(tmp.c_str(), "rb"), nullptr)
+      << "temp file survived a successful atomic write";
+  EXPECT_NO_THROW((void)load(path));
+  std::remove(path.c_str());
+}
+
+TEST(CkptState, OverwriteReplacesPreviousCheckpoint) {
+  const std::string path = temp_path("overwrite.ckpt");
+  RunState st = make_fresh(tiny_job());
+  save(path, st);
+  const RunState empty = load(path);
+  EXPECT_EQ(empty.done.size(), 0u);
+  const RunState progressed = sample_state();
+  save(path, progressed);
+  EXPECT_EQ(load(path).done.size(), progressed.done.size());
+  std::remove(path.c_str());
+}
+
+// The tentpole property, in-process: resuming from the saved snapshot and
+// finishing yields byte-identical output to the uninterrupted run.  (The
+// subprocess SIGKILL variant is tests/kill_and_resume.cmake.)
+TEST(CkptResume, ResumedRunIsBitIdentical) {
+  const BootstrapJob job = tiny_job();
+
+  RunState uninterrupted = make_fresh(job);
+  const std::string report_a = run_job(uninterrupted, {}).to_text();
+
+  // "Crash" after one replicate: run a one-replicate prefix, snapshot it,
+  // then resume from the loaded snapshot exactly as the driver would.
+  RunState prefix = make_fresh(job);
+  prefix.job.bootstraps = 1;
+  run_job(prefix, {});
+  prefix.job.bootstraps = job.bootstraps;
+  const std::string path = temp_path("resume.ckpt");
+  save(path, prefix);
+
+  RunState resumed = load(path);
+  ASSERT_EQ(resumed.done.size(), 1u);
+  const std::string report_b = run_job(resumed, {}).to_text();
+
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_NE(report_a.find("replicate 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CkptResume, EveryPrefixLengthResumesIdentically) {
+  const BootstrapJob job = tiny_job();
+  RunState uninterrupted = make_fresh(job);
+  const std::string expect = run_job(uninterrupted, {}).to_text();
+  for (int k = 0; k <= job.bootstraps; ++k) {
+    RunState prefix = make_fresh(job);
+    prefix.job.bootstraps = k;
+    if (k > 0) run_job(prefix, {});
+    prefix.job.bootstraps = job.bootstraps;
+    RunState resumed = from_image(to_image(prefix));  // ser/de in memory
+    EXPECT_EQ(run_job(resumed, {}).to_text(), expect) << "prefix " << k;
+  }
+}
+
+TEST(CkptRunner, ReportIsDeterministic) {
+  RunState a = make_fresh(tiny_job());
+  RunState b = make_fresh(tiny_job());
+  EXPECT_EQ(run_job(a, {}).to_text(), run_job(b, {}).to_text());
+}
+
+TEST(CkptRunner, CheckpointCadenceHonored) {
+  const std::string path = temp_path("cadence.ckpt");
+  RunState st = make_fresh(tiny_job());
+  RunnerOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 2;
+  run_job(st, opt);
+  // The final snapshot always lands, and it holds the complete run.
+  const RunState final_state = load(path);
+  EXPECT_EQ(final_state.done.size(),
+            static_cast<std::size_t>(tiny_job().bootstraps));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cbe::ckpt

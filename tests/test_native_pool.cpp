@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace cbe::native {
@@ -192,6 +194,85 @@ TEST(OffloadPool, DeadlineWatchdogQuietOnFastTask) {
   f.get();
   EXPECT_FALSE(timed_out.load());
   EXPECT_EQ(pool.deadline_misses(), 0u);
+}
+
+// Regression: an abandoned deadline-expired task must not be able to write
+// into result storage its caller reclaimed after observing the timeout.
+// The caller frees the buffer inside on_timeout; the straggler's
+// try_commit must refuse to touch it.
+TEST(OffloadPool, AbandonedDeadlineTaskCannotTouchFreedResults) {
+  OffloadPool pool(1);
+  // Heap storage so a use-after-free would be visible to sanitizers, not
+  // just to the assertions below.
+  auto results = std::make_unique<std::vector<double>>(16, 0.0);
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> committed{false};
+  auto f = pool.offload_with_deadline(
+      [&](const DeadlineToken& token) {
+        // Straggle until the watchdog has definitely fired.
+        for (int i = 0; i < 2000 && !timed_out.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        committed = token.try_commit([&] { (*results)[0] = 42.0; });
+      },
+      std::chrono::microseconds(2000),
+      [&] {
+        // Deadline declared expired: the caller now owns the storage
+        // exclusively and may free it.
+        results.reset();
+        timed_out = true;
+      });
+  f.get();
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_FALSE(committed.load())
+      << "task committed into storage freed by the timeout handler";
+  EXPECT_EQ(pool.deadline_misses(), 1u);
+}
+
+TEST(OffloadPool, DeadlineTokenCommitsBeforeExpiry) {
+  OffloadPool pool(1);
+  std::vector<double> results(1, 0.0);
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> committed{false};
+  auto f = pool.offload_with_deadline(
+      [&](const DeadlineToken& token) {
+        EXPECT_FALSE(token.expired());
+        committed = token.try_commit([&] { results[0] = 7.0; });
+      },
+      std::chrono::milliseconds(500), [&] { timed_out = true; });
+  f.get();
+  EXPECT_TRUE(committed.load());
+  EXPECT_EQ(results[0], 7.0);
+  EXPECT_FALSE(timed_out.load());
+  EXPECT_EQ(pool.deadline_misses(), 0u);
+}
+
+// Commit-vs-expiry is decided under one lock: whichever side wins, exactly
+// one of {committed, timed_out} holds afterwards.  Run many racy rounds
+// with the deadline aimed at "right now" to hammer the window.
+TEST(OffloadPool, DeadlineCommitAndExpiryAreMutuallyExclusive) {
+  OffloadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    auto results = std::make_shared<std::vector<double>>(1, 0.0);
+    std::atomic<bool> timed_out{false};
+    std::atomic<bool> committed{false};
+    auto f = pool.offload_with_deadline(
+        [&, results](const DeadlineToken& token) {
+          committed = token.try_commit([&] { (*results)[0] = 1.0; });
+        },
+        std::chrono::microseconds(50), [&] { timed_out = true; });
+    f.get();
+    // Let a late watchdog firing land before judging the round.
+    for (int i = 0; i < 1000 && !committed.load() && !timed_out.load();
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    EXPECT_NE(committed.load(), timed_out.load()) << "round " << round;
+    // A refused commit must have left the storage untouched.
+    if (!committed.load()) {
+      EXPECT_EQ((*results)[0], 0.0);
+    }
+  }
 }
 
 TEST(OffloadPool, ManySmallTasksStress) {

@@ -18,10 +18,65 @@ TEST(States, CharRoundtrip) {
   EXPECT_EQ(state_to_char(kGap), '-');
 }
 
+// Parses `text`, expecting it to fail, and reports which typed error it
+// failed with.
+AlignmentError::Kind phylip_failure_kind(const std::string& text) {
+  try {
+    Alignment::parse_phylip(text);
+  } catch (const AlignmentError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "parse_phylip accepted malformed input: " << text;
+  return AlignmentError::Kind::BadHeader;
+}
+
 TEST(Alignment, ConstructionValidates) {
-  EXPECT_THROW(Alignment({"a"}, {{kA}, {kC}}), std::invalid_argument);
-  EXPECT_THROW(Alignment({"a", "b"}, {{kA, kC}, {kG}}),
-               std::invalid_argument);
+  EXPECT_THROW(Alignment({"a"}, {{kA}, {kC}}), AlignmentError);
+  EXPECT_THROW(Alignment({"a", "b"}, {{kA, kC}, {kG}}), AlignmentError);
+  // Typed errors still satisfy callers catching the std hierarchy.
+  EXPECT_THROW(Alignment({"a"}, {{kA}, {kC}}), std::runtime_error);
+}
+
+TEST(Alignment, ConstructionRejectsZeroTaxa) {
+  try {
+    Alignment({}, {});
+    FAIL() << "zero-taxon alignment was accepted";
+  } catch (const AlignmentError& e) {
+    EXPECT_EQ(e.kind(), AlignmentError::Kind::SizeMismatch);
+    EXPECT_NE(std::string(e.what()).find("zero taxa"), std::string::npos);
+  }
+}
+
+TEST(Alignment, PhylipTypedErrors) {
+  using Kind = AlignmentError::Kind;
+  EXPECT_EQ(phylip_failure_kind(""), Kind::BadHeader);
+  EXPECT_EQ(phylip_failure_kind("not numbers\n"), Kind::BadHeader);
+  EXPECT_EQ(phylip_failure_kind("0 5\n"), Kind::BadHeader);
+  EXPECT_EQ(phylip_failure_kind("-2 4\nx ACGT\n"), Kind::BadHeader);
+  EXPECT_EQ(phylip_failure_kind("2 4\nonly ACGT\n"), Kind::Truncated);
+  EXPECT_EQ(phylip_failure_kind("1 4\nshort ACG\n"), Kind::RaggedRows);
+  EXPECT_EQ(phylip_failure_kind("1 4\nt AC!T\n"), Kind::InvalidCharacter);
+}
+
+TEST(Alignment, AdversarialHeaderCannotDriveAllocation) {
+  // A tiny input whose header promises a multi-gigabyte alignment must be
+  // rejected up front (bounded by the input size), not attempted.
+  EXPECT_EQ(phylip_failure_kind("1000000000 1000000000\nx ACGT\n"),
+            AlignmentError::Kind::Truncated);
+  EXPECT_EQ(phylip_failure_kind("3000000000 4\n"),
+            AlignmentError::Kind::Truncated);
+}
+
+TEST(Alignment, InvalidCharacterNamesTheCulprit) {
+  try {
+    Alignment::parse_phylip("1 4\nbadtaxon AC*T\n");
+    FAIL() << "invalid character was accepted";
+  } catch (const AlignmentError& e) {
+    EXPECT_EQ(e.kind(), AlignmentError::Kind::InvalidCharacter);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("badtaxon"), std::string::npos) << what;
+    EXPECT_NE(what.find('*'), std::string::npos) << what;
+  }
 }
 
 TEST(Alignment, PhylipRoundtrip) {
