@@ -13,7 +13,8 @@ namespace {
 
 using namespace cbe;
 
-void ablate_ctx_switch(const task::SyntheticConfig& scfg) {
+void ablate_ctx_switch(const task::SyntheticConfig& scfg,
+                       bench::BenchReport& report) {
   util::Table table("A1: EDTLP sensitivity to PPE context-switch cost "
                     "(8 bootstraps)");
   table.header({"switch cost", "EDTLP", "vs 1.5us"});
@@ -24,6 +25,7 @@ void ablate_ctx_switch(const task::SyntheticConfig& scfg) {
     rt::EdtlpPolicy pol;
     const double t = bench::run_bootstraps(8, pol, scfg, cfg).makespan_s;
     if (us == 1.5) base = t;
+    report.add_sample("ctx_us/" + util::Table::num(us, 1), t);
     table.row({util::Table::num(us, 1) + "us", util::Table::seconds(t),
                base > 0 ? util::Table::num(t / base) : "-"});
   }
@@ -31,15 +33,18 @@ void ablate_ctx_switch(const task::SyntheticConfig& scfg) {
   std::printf("\n");
 }
 
-void ablate_history_window(const task::SyntheticConfig& scfg) {
+void ablate_history_window(const task::SyntheticConfig& scfg,
+                           bench::BenchReport& report) {
   util::Table table("A2: MGPS history-window length (paper uses 8)");
   table.header({"window", "2 bootstraps", "4 bootstraps", "12 bootstraps"});
   for (int w : {1, 2, 4, 8, 16, 32}) {
     std::vector<std::string> row = {std::to_string(w)};
     for (int b : {2, 4, 12}) {
       rt::MgpsPolicy pol(w);
-      row.push_back(util::Table::seconds(
-          bench::run_bootstraps(b, pol, scfg, {}).makespan_s));
+      const double t = bench::run_bootstraps(b, pol, scfg, {}).makespan_s;
+      report.add_sample("window/" + std::to_string(w) + "/b" +
+                        std::to_string(b), t);
+      row.push_back(util::Table::seconds(t));
     }
     table.row(row);
   }
@@ -139,11 +144,16 @@ void ablate_code_replacement(const task::SyntheticConfig& scfg) {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_ablation"));
-  ablate_ctx_switch(scfg);
-  ablate_history_window(scfg);
+  bench::BenchReport report(cli, "ablation");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_ablation", "[--json[=F]]"));
+  report.config("tasks", static_cast<long long>(scfg.tasks_per_bootstrap));
+  report.config("seed", static_cast<long long>(scfg.seed));
+  report.config("cv", scfg.duration_cv);
+  ablate_ctx_switch(scfg, report);
+  ablate_history_window(scfg, report);
   ablate_master_bias(scfg);
   ablate_granularity_test(scfg);
   ablate_code_replacement(scfg);
-  return 0;
+  return report.write() ? 0 : 1;
 }

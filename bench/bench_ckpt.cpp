@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "bench_report.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/format.hpp"
 #include "ckpt/runner.hpp"
@@ -37,9 +38,15 @@ int main(int argc, char** argv) {
   job.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
   const int reps = static_cast<int>(cli.get_int("reps", 50));
   const std::string path = cli.get("path", "bench_ckpt.ckpt");
+  bench::BenchReport report(cli, "ckpt");
   cli.enforce_usage_or_exit(
       "bench_ckpt [--bootstraps=N] [--taxa=N] [--sites=N] [--seed=S]"
-      " [--reps=N] [--path=F]");
+      " [--reps=N] [--path=F] [--json[=F]]");
+  report.config("bootstraps", static_cast<long long>(job.bootstraps));
+  report.config("taxa", static_cast<long long>(job.taxa));
+  report.config("sites", static_cast<long long>(job.sites));
+  report.config("seed", static_cast<long long>(job.seed));
+  report.set_repetitions(reps);
 
   // Run the full job once (no checkpointing) to get a final-size state,
   // then measure snapshot cost at several progress points by truncating.
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
     const double dec_us = time_us(
         [&] { (void)ckpt::from_image(ckpt::CheckpointImage::parse(bytes)); },
         reps);
+    const std::string at = std::to_string(k);
+    report.add_sample("serialize/" + at, ser_us * 1e-6);
+    report.add_sample("atomic_write/" + at, write_us * 1e-6);
+    report.add_sample("parse/" + at, parse_us * 1e-6);
+    report.add_sample("decode/" + at, dec_us * 1e-6);
     table.row({std::to_string(k), std::to_string(bytes.size()),
                util::Table::num(ser_us) + "us",
                util::Table::num(write_us) + "us",
@@ -82,5 +94,5 @@ int main(int argc, char** argv) {
       "write column shows the fsync-dominated snapshot cost it amortizes.\n",
       per_replicate_us);
   std::remove(path.c_str());
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -18,8 +18,11 @@ int main(int argc, char** argv) {
   const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 100));
 
   rt::RunConfig blade_cfg = bench::run_config(cli, /*cells=*/2);
+  bench::BenchReport report(cli, "cluster");
   cli.enforce_usage_or_exit(
-      bench::common_usage("bench_cluster", "[--bootstraps=N]"));
+      bench::common_usage("bench_cluster", "[--bootstraps=N] [--json[=F]]"));
+  bench::report_common_config(report, scfg, blade_cfg);
+  report.config("bootstraps", static_cast<long long>(bootstraps));
   const task::Workload wl = task::make_synthetic(bootstraps, scfg);
 
   util::Table table("Section 5.5: " + std::to_string(bootstraps) +
@@ -34,6 +37,8 @@ int main(int argc, char** argv) {
     const auto mgps = rt::run_cluster(
         wl, [] { return std::make_unique<rt::MgpsPolicy>(); }, blades,
         blade_cfg);
+    report.add_sample("edtlp/" + std::to_string(blades), edtlp.makespan_s);
+    report.add_sample("mgps/" + std::to_string(blades), mgps.makespan_s);
     const bool mgps_wins = mgps.makespan_s < edtlp.makespan_s * 0.999;
     const double gain = edtlp.makespan_s / mgps.makespan_s;
     if (blades == 1) gain_first = gain;
@@ -51,5 +56,5 @@ int main(int argc, char** argv) {
               "blades (the paper's Section 5.5 argument; our MGPS also "
               "wins the within-blade tail, so it never loses outright)\n",
               gain_first, gain_last);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -6,12 +6,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
+#include "bench_report.hpp"
 #include "runtime/mgps.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "task/synthetic.hpp"
 #include "trace/export.hpp"
 #include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -27,14 +30,7 @@ class MetricsExport {
  public:
   explicit MetricsExport(const util::Cli& cli)
       : path_(cli.get("metrics", "")) {}
-  ~MetricsExport() {
-    if (path_.empty()) return;
-    if (trace::write_file(path_, registry_.to_json())) {
-      std::fprintf(stderr, "metrics: wrote %s\n", path_.c_str());
-    } else {
-      std::fprintf(stderr, "metrics: failed to write %s\n", path_.c_str());
-    }
-  }
+  ~MetricsExport() { finish(); }
   MetricsExport(const MetricsExport&) = delete;
   MetricsExport& operator=(const MetricsExport&) = delete;
 
@@ -43,10 +39,39 @@ class MetricsExport {
   }
   bool enabled() const noexcept { return !path_.empty(); }
 
+  /// Writes the export (once) and reports success, so mains can turn an I/O
+  /// failure into a non-zero exit instead of a buried stderr line.  The
+  /// destructor calls this as a fallback; no-op without `--metrics`.
+  bool finish() {
+    if (path_.empty() || finished_) return ok_;
+    finished_ = true;
+    ok_ = trace::write_file(path_, registry_.to_json());
+    if (ok_) {
+      std::fprintf(stderr, "metrics: wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", path_.c_str());
+    }
+    return ok_;
+  }
+
  private:
   std::string path_;
   trace::MetricsRegistry registry_;
+  bool finished_ = false;
+  bool ok_ = true;
 };
+
+/// Stamps the shared workload/machine knobs into a report's config block so
+/// config_hash pins the measured workload.
+inline void report_common_config(BenchReport& r,
+                                 const task::SyntheticConfig& scfg,
+                                 const rt::RunConfig& rcfg) {
+  r.config("tasks", static_cast<long long>(scfg.tasks_per_bootstrap));
+  r.config("seed", static_cast<long long>(scfg.seed));
+  r.config("cv", scfg.duration_cv);
+  r.config("smt_slowdown", rcfg.cell.smt_slowdown);
+  r.config("dispatch_us", rcfg.cell.dispatch_us);
+}
 
 /// Usage-string vocabulary for the shared workload/machine flags consumed
 /// by synthetic_config() and run_config(); a bench appends its own extras

@@ -28,7 +28,8 @@ const PolicyEntry kPolicies[] = {
 };
 
 void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
-                        std::uint64_t seed, bench::MetricsExport& metrics) {
+                        std::uint64_t seed, bench::MetricsExport& metrics,
+                        bench::BenchReport& report) {
   util::Table table("SPE fail-stop degradation (" +
                     std::to_string(bootstraps) + " bootstraps, seed " +
                     std::to_string(seed) + "); cells = makespan (x fault-free"
@@ -49,6 +50,8 @@ void sweep_spe_failstop(const task::SyntheticConfig& scfg, int bootstraps,
       const rt::RunResult r =
           bench::run_bootstraps(bootstraps, *pol, scfg, cfg);
       if (rate == 0.0) fault_free[i] = r.makespan_s;
+      report.add_sample(std::string(kPolicies[i].label) + "/fail" +
+                        util::Table::num(rate, 3), r.makespan_s);
       std::string cell = util::Table::seconds(r.makespan_s);
       if (rate > 0.0 && fault_free[i] > 0.0) {
         cell += " (" + util::Table::num(r.makespan_s / fault_free[i]) + "x, " +
@@ -149,12 +152,21 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
   bench::MetricsExport metrics(cli);
+  bench::BenchReport report(cli, "faults");
   cli.enforce_usage_or_exit(
       bench::common_usage("bench_faults",
-                          "[--bootstraps=N] [--fault-seed=S] [--metrics=F]"));
-  sweep_spe_failstop(scfg, bootstraps, seed, metrics);
+                          "[--bootstraps=N] [--fault-seed=S] [--metrics=F]"
+                          " [--json[=F]]"));
+  report.config("tasks", static_cast<long long>(scfg.tasks_per_bootstrap));
+  report.config("seed", static_cast<long long>(scfg.seed));
+  report.config("bootstraps", static_cast<long long>(bootstraps));
+  report.config("fault_seed", static_cast<long long>(seed));
+  sweep_spe_failstop(scfg, bootstraps, seed, metrics, report);
   sweep_dma_faults(scfg, bootstraps, seed, metrics);
   sweep_stragglers(scfg, bootstraps, seed, metrics);
   sweep_blade_failstop(scfg, seed, metrics);
-  return 0;
+  int rc = 0;
+  if (!report.write()) rc = 1;
+  if (!metrics.finish()) rc = 1;
+  return rc;
 }

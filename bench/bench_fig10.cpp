@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_fig10"));
+  bench::BenchReport report(cli, "fig10");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_fig10", "[--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg);
 
   // Anchor: simulated single-bootstrap EDTLP time -> paper's 28.46 s.
   double sim_t1;
@@ -53,6 +56,9 @@ int main(int argc, char** argv) {
           bench::run_bootstraps(b, mgps, scfg, rcfg).makespan_s * cell_scale;
       const double tx = platform::run_bootstraps(xeon, b);
       const double tp = platform::run_bootstraps(power5, b);
+      report.add_sample("cell/" + std::to_string(b), cell);
+      report.add_sample("xeon/" + std::to_string(b), tx);
+      report.add_sample("power5/" + std::to_string(b), tp);
       table.row({std::to_string(b), util::Table::seconds(tx),
                  util::Table::seconds(tp), util::Table::seconds(cell),
                  util::Table::num(tx / cell), util::Table::num(tp / cell)});
@@ -74,5 +80,5 @@ int main(int argc, char** argv) {
               "Power5/Cell at 128 = %.2f (paper 1.05-1.10), "
               "Power5/Cell at 8 = %.2f (paper: Cell edges ahead from 8 on)\n",
               xeon_128 / cell_128, p5_128 / cell_128, p5_8 / cell_8);
-  return 0;
+  return report.write() ? 0 : 1;
 }

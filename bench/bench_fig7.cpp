@@ -16,8 +16,14 @@ int main(int argc, char** argv) {
   using namespace cbe;
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
-  const auto rcfg = bench::run_config(cli);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_fig7"));
+  auto rcfg = bench::run_config(cli);
+  bench::MetricsExport metrics(cli);
+  metrics.attach(rcfg);
+  bench::BenchReport report(cli, "fig7");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_fig7", "[--metrics=F] [--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg);
+  trace::TraceSink sink;
 
   const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
                                   9, 10, 11, 12, 13, 14, 15, 16};
@@ -35,12 +41,18 @@ int main(int argc, char** argv) {
     for (int b : points) {
       rt::StaticHybridPolicy llp2(2), llp4(4);
       rt::EdtlpPolicy edtlp;
+      auto traced = rcfg;
+      // Trace one mid-size EDTLP point as the attribution representative.
+      if (report.enabled() && sink.empty() && b == 16) traced.trace = &sink;
       const double t2 =
           bench::run_bootstraps(b, llp2, scfg, rcfg).makespan_s;
       const double t4 =
           bench::run_bootstraps(b, llp4, scfg, rcfg).makespan_s;
       const double te =
-          bench::run_bootstraps(b, edtlp, scfg, rcfg).makespan_s;
+          bench::run_bootstraps(b, edtlp, scfg, traced).makespan_s;
+      report.add_sample("llp2/" + std::to_string(b), t2);
+      report.add_sample("llp4/" + std::to_string(b), t4);
+      report.add_sample("edtlp/" + std::to_string(b), te);
       const char* best = t2 <= t4 && t2 <= te ? "LLP(2)"
                          : t4 <= te           ? "LLP(4)"
                                               : "EDTLP";
@@ -58,5 +70,9 @@ int main(int argc, char** argv) {
     chart.print();
     std::printf("\n");
   }
-  return 0;
+  bench::report_attribution(report, sink);
+  int rc = 0;
+  if (!report.write()) rc = 1;
+  if (!metrics.finish()) rc = 1;
+  return rc;
 }

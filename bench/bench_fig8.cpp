@@ -16,7 +16,11 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_fig8"));
+  bench::BenchReport report(cli, "fig8");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_fig8", "[--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg);
+  trace::TraceSink sink;
 
   const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
                                   9, 10, 11, 12, 13, 14, 15, 16};
@@ -34,7 +38,10 @@ int main(int argc, char** argv) {
       rt::MgpsPolicy mgps;
       rt::StaticHybridPolicy llp2(2), llp4(4);
       rt::EdtlpPolicy edtlp;
-      const auto rm = bench::run_bootstraps(b, mgps, scfg, rcfg);
+      auto traced = rcfg;
+      // Trace one mid-size MGPS point as the attribution representative.
+      if (report.enabled() && sink.empty() && b == 16) traced.trace = &sink;
+      const auto rm = bench::run_bootstraps(b, mgps, scfg, traced);
       const double t2 =
           bench::run_bootstraps(b, llp2, scfg, rcfg).makespan_s;
       const double t4 =
@@ -42,6 +49,8 @@ int main(int argc, char** argv) {
       const double te =
           bench::run_bootstraps(b, edtlp, scfg, rcfg).makespan_s;
       const double best = std::min({t2, t4, te});
+      report.add_sample("mgps/" + std::to_string(b), rm.makespan_s);
+      report.add_sample("edtlp/" + std::to_string(b), te);
       table.row({std::to_string(b), util::Table::seconds(rm.makespan_s),
                  util::Table::seconds(t2), util::Table::seconds(t4),
                  util::Table::seconds(te),
@@ -58,5 +67,6 @@ int main(int argc, char** argv) {
   std::printf("shape check: MGPS(128)/EDTLP(128) = %.3f "
               "(paper: curves overlap completely, ratio ~1.0)\n",
               mgps_128 / edtlp_128);
-  return 0;
+  bench::report_attribution(report, sink);
+  return report.write() ? 0 : 1;
 }

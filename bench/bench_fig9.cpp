@@ -19,7 +19,12 @@ int main(int argc, char** argv) {
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg1 = bench::run_config(cli, /*cells=*/1);
   const auto rcfg2 = bench::run_config(cli, /*cells=*/2);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_fig9"));
+  bench::BenchReport report(cli, "fig9");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_fig9", "[--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg2);
+  report.config("cells", 2);
+  trace::TraceSink sink;
 
   const std::vector<int> small = {1, 2, 3, 4, 5, 6, 7, 8,
                                   9, 10, 11, 12, 13, 14, 15, 16};
@@ -37,8 +42,10 @@ int main(int argc, char** argv) {
       rt::MgpsPolicy mgps;
       rt::StaticHybridPolicy llp2(2), llp4(4);
       rt::EdtlpPolicy edtlp;
+      auto traced = rcfg2;
+      if (report.enabled() && sink.empty() && b == 16) traced.trace = &sink;
       const double tm =
-          bench::run_bootstraps(b, mgps, scfg, rcfg2).makespan_s;
+          bench::run_bootstraps(b, mgps, scfg, traced).makespan_s;
       const double t2 =
           bench::run_bootstraps(b, llp2, scfg, rcfg2).makespan_s;
       const double t4 =
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
       table.row({std::to_string(b), util::Table::seconds(tm),
                  util::Table::seconds(t2), util::Table::seconds(t4),
                  util::Table::seconds(te), best});
+      report.add_sample("mgps2c/" + std::to_string(b), tm);
+      report.add_sample("edtlp2c/" + std::to_string(b), te);
     }
     table.print();
     std::printf("\n");
@@ -67,5 +76,6 @@ int main(int argc, char** argv) {
     std::printf("scaling check: EDTLP %3d bootstraps, 1-Cell/2-Cell = %.2f "
                 "(paper: ~2x)\n", b, one / two);
   }
-  return 0;
+  bench::report_attribution(report, sink);
+  return report.write() ? 0 : 1;
 }

@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_report.hpp"
 #include "phylo/bootstrap.hpp"
 #include "phylo/kernels_simd.hpp"
 #include "sim/engine.hpp"
@@ -152,6 +155,55 @@ void BM_GammaRates(benchmark::State& state) {
 }
 BENCHMARK(BM_GammaRates);
 
+/// Console reporter that also funnels every run's adjusted real time (ns,
+/// the suite's default unit) into the cbe-bench-v1 report.
+class ReportingConsole final : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(bench::BenchReport* report) : report_(report) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    if (report_ != nullptr) {
+      for (const Run& run : runs) {
+        report_->add_sample(run.benchmark_name(),
+                            run.GetAdjustedRealTime() * 1e-9);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our --json flag before google-benchmark sees the arguments
+  // (it rejects flags it does not own).
+  std::string json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = "true";
+    } else if (a.rfind("--json=", 0) == 0) {
+      json = a.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 2;
+
+  const std::string json_flag = "--json=" + json;
+  std::vector<char*> fake = {argv[0]};
+  if (!json.empty()) fake.push_back(const_cast<char*>(json_flag.c_str()));
+  cbe::util::Cli cli(static_cast<int>(fake.size()), fake.data());
+  cbe::bench::BenchReport report(cli, "micro");
+  report.config("suite", std::string("google-benchmark"));
+
+  ReportingConsole console(report.enabled() ? &report : nullptr);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}

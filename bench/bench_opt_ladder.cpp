@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "cellsim/mfc.hpp"
 #include "phylo/bootstrap.hpp"
 #include "util/cli.hpp"
@@ -50,8 +51,12 @@ int main(int argc, char** argv) {
   phylo::SubstModel model(
       phylo::GtrParams::hky(2.5, pa.base_frequencies()), 0.8);
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  bench::BenchReport report(cli, "opt_ladder");
   cli.enforce_usage_or_exit(
-      "bench_opt_ladder [--taxa=N] [--sites=N] [--seed=S]");
+      "bench_opt_ladder [--taxa=N] [--sites=N] [--seed=S] [--json[=F]]");
+  report.config("taxa", static_cast<long long>(acfg.taxa));
+  report.config("sites", static_cast<long long>(acfg.sites));
+  report.config("seed", static_cast<long long>(cli.get_int("seed", 7)));
   CallRecorder rec;
   phylo::run_bootstrap(pa, model, rng, {}, &rec);
 
@@ -122,6 +127,11 @@ int main(int argc, char** argv) {
       {"+ aggregated DMA (fully optimized)", bootstrap_seconds(&full),
        28.82 / 38.23},
   };
+  const char* step_keys[] = {"ppe_only", "naive", "vectorized", "branch_free",
+                             "fast_math", "optimized"};
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    report.add_sample(step_keys[i], steps[i].seconds);
+  }
 
   util::Table table("Section 5.1: SPE optimization ladder (one bootstrap, "
                     "1 PPE thread + 1 SPE)");
@@ -139,5 +149,5 @@ int main(int argc, char** argv) {
               "(paper 1.75)\n",
               steps[1].seconds / t_ppe, steps[5].seconds / t_ppe,
               steps[1].seconds / steps[5].seconds);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -19,8 +19,10 @@ int main(int argc, char** argv) {
   auto rcfg = bench::run_config(cli);
   bench::MetricsExport metrics(cli);
   metrics.attach(rcfg);
+  bench::BenchReport report(cli, "table1");
   cli.enforce_usage_or_exit(
-      bench::common_usage("bench_table1", "[--metrics=F]"));
+      bench::common_usage("bench_table1", "[--metrics=F] [--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg);
 
   const double paper_edtlp[] = {28.46, 29.36, 32.54, 33.12,
                                 37.27, 38.66, 41.87, 43.32};
@@ -33,13 +35,21 @@ int main(int argc, char** argv) {
                 "EDTLP(norm)", "paper", "Linux(norm)", "paper"});
 
   std::vector<double> edtlp_s, linux_s;
+  trace::TraceSink sink;
   for (int n = 1; n <= 8; ++n) {
     rt::EdtlpPolicy edtlp;
     rt::LinuxPolicy linux_pol;
-    edtlp_s.push_back(bench::run_bootstraps(n, edtlp, scfg, rcfg).makespan_s);
+    auto traced = rcfg;
+    // Trace the largest EDTLP point as the attribution representative.
+    if (report.enabled() && n == 8) traced.trace = &sink;
+    edtlp_s.push_back(
+        bench::run_bootstraps(n, edtlp, scfg, traced).makespan_s);
     linux_s.push_back(
         bench::run_bootstraps(n, linux_pol, scfg, rcfg).makespan_s);
+    report.add_sample("edtlp/" + std::to_string(n), edtlp_s.back());
+    report.add_sample("linux/" + std::to_string(n), linux_s.back());
   }
+  bench::report_attribution(report, sink);
   const auto edtlp_n = bench::normalized(edtlp_s);
   const auto linux_n = bench::normalized(linux_s);
 
@@ -59,5 +69,8 @@ int main(int argc, char** argv) {
               "EDTLP(8)/EDTLP(1) = %.2f (paper 1.52), "
               "Linux(8)/Linux(1) = %.2f (paper 4.06)\n",
               linux_s[7] / edtlp_s[7], edtlp_n[7], linux_n[7]);
-  return 0;
+  int rc = 0;
+  if (!report.write()) rc = 1;
+  if (!metrics.finish()) rc = 1;
+  return rc;
 }

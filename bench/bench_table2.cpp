@@ -15,7 +15,10 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scfg = bench::synthetic_config(cli);
   const auto rcfg = bench::run_config(cli);
-  cli.enforce_usage_or_exit(bench::common_usage("bench_table2"));
+  bench::BenchReport report(cli, "table2");
+  cli.enforce_usage_or_exit(
+      bench::common_usage("bench_table2", "[--json[=F]]"));
+  bench::report_common_config(report, scfg, rcfg);
 
   const double paper[] = {28.71, 20.83, 19.37, 18.28,
                           18.10, 20.52, 18.27, 24.40};
@@ -24,10 +27,15 @@ int main(int argc, char** argv) {
   table.header({"SPEs/loop", "sim", "speedup(sim)", "speedup(paper)"});
 
   std::vector<double> secs;
+  trace::TraceSink sink;
   for (int d = 1; d <= 8; ++d) {
     rt::StaticHybridPolicy pol(d);
-    secs.push_back(bench::run_bootstraps(1, pol, scfg, rcfg).makespan_s);
+    auto traced = rcfg;
+    if (report.enabled() && d == 4) traced.trace = &sink;
+    secs.push_back(bench::run_bootstraps(1, pol, scfg, traced).makespan_s);
+    report.add_sample("llp/" + std::to_string(d), secs.back());
   }
+  bench::report_attribution(report, sink);
   for (int d = 1; d <= 8; ++d) {
     const auto i = static_cast<std::size_t>(d - 1);
     table.row({std::to_string(d), util::Table::seconds(secs[i]),
@@ -47,5 +55,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape checks: best speedup %.2f at %d SPEs "
               "(paper: 1.59 at 5 SPEs)\n", best, best_d);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -257,19 +257,34 @@ int main(int argc, char** argv) {
       rt::run_workload(workload, mgps, cfg);
       std::printf("\ntraced MGPS run (fault seed %llu): %zu events\n",
                   static_cast<unsigned long long>(fc.seed), sink.size());
-      if (!trace_json.empty() &&
-          trace::write_file(trace_json, trace::to_chrome_json(sink.events()))) {
-        std::printf("  %s (Chrome trace_event JSON; open in Perfetto)\n",
-                    trace_json.c_str());
+      // A failed export (full disk, bad path) must fail the process: a
+      // silently truncated trace looks exactly like a short run.
+      bool export_ok = true;
+      if (!trace_json.empty()) {
+        if (trace::write_file(trace_json,
+                              trace::to_chrome_json(sink.events()))) {
+          std::printf("  %s (Chrome trace_event JSON; open in Perfetto)\n",
+                      trace_json.c_str());
+        } else {
+          export_ok = false;
+        }
       }
-      if (!trace_text.empty() &&
-          trace::write_file(trace_text, trace::to_text(sink.events()))) {
-        std::printf("  %s (deterministic text trace)\n", trace_text.c_str());
+      if (!trace_text.empty()) {
+        if (trace::write_file(trace_text, trace::to_text(sink.events()))) {
+          std::printf("  %s (deterministic text trace)\n",
+                      trace_text.c_str());
+        } else {
+          export_ok = false;
+        }
       }
-      if (!metrics_path.empty() &&
-          trace::write_file(metrics_path, registry.to_json())) {
-        std::printf("  %s (metrics JSON)\n", metrics_path.c_str());
+      if (!metrics_path.empty()) {
+        if (trace::write_file(metrics_path, registry.to_json())) {
+          std::printf("  %s (metrics JSON)\n", metrics_path.c_str());
+        } else {
+          export_ok = false;
+        }
       }
+      if (!export_ok) return 1;
 #else
       std::fprintf(stderr,
                    "--trace/--metrics need a CBE_TRACE=ON build; this one "

@@ -1,0 +1,103 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace cbe::analysis {
+
+namespace {
+
+using MinHeap =
+    std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                        std::greater<std::int64_t>>;
+
+}  // namespace
+
+Attribution attribute_makespan(const std::vector<trace::Event>& events,
+                               std::int64_t makespan_ns) {
+  Attribution out;
+  if (!events.empty()) {
+    makespan_ns = std::max(makespan_ns, events.back().t_ns);
+  }
+  out.makespan_ns = std::max<std::int64_t>(makespan_ns, 0);
+
+  int busy = 0;
+  int dma = 0;
+  std::set<int> recovering;  // pids between fault teardown and re-issue
+  std::set<int> queued;      // pids parked in the wait queue
+  MinHeap ctx_until;         // context-switch cost windows in flight
+  MinHeap sig_until;         // mailbox signal latencies in flight
+
+  auto bucket = [&]() -> std::int64_t& {
+    if (busy > 0) return out.spe_compute_ns;
+    if (dma > 0) return out.dma_ns;
+    if (!ctx_until.empty()) return out.ctx_switch_ns;
+    if (!sig_until.empty()) return out.signal_ns;
+    if (!recovering.empty()) return out.recovery_ns;
+    if (!queued.empty()) return out.queue_ns;
+    return out.ppe_ns;
+  };
+
+  auto apply = [&](const trace::Event& e) {
+    switch (e.kind) {
+      case trace::EventKind::SpeBusy: ++busy; break;
+      case trace::EventKind::SpeIdle: busy = std::max(0, busy - 1); break;
+      case trace::EventKind::DmaIssue: ++dma; break;
+      case trace::EventKind::DmaRetire: dma = std::max(0, dma - 1); break;
+      case trace::EventKind::CtxSwitch:
+        if (e.b > 0) ctx_until.push(e.t_ns + e.b);
+        break;
+      case trace::EventKind::MailboxSignal:
+        if (e.a > 0) sig_until.push(e.t_ns + e.a);
+        break;
+      case trace::EventKind::WatchdogFire:
+      case trace::EventKind::Reoffload:
+        recovering.insert(e.pid);
+        break;
+      case trace::EventKind::TaskQueued:
+        queued.insert(e.pid);
+        break;
+      case trace::EventKind::TaskDispatch:
+      case trace::EventKind::PpeFallback:
+        recovering.erase(e.pid);
+        queued.erase(e.pid);
+        break;
+      default:
+        break;
+    }
+  };
+
+  // Priority sweep: advance from boundary to boundary (event timestamps and
+  // latency-window expiries), charging each sub-gap to the highest-priority
+  // component active across it.  Every nanosecond of [0, makespan) lands in
+  // exactly one bucket, so the components sum to the makespan exactly.
+  std::size_t i = 0;
+  std::int64_t cur = 0;
+  while (cur < out.makespan_ns || i < events.size()) {
+    std::int64_t next = out.makespan_ns;
+    if (i < events.size()) next = std::min(next, events[i].t_ns);
+    if (!ctx_until.empty()) next = std::min(next, ctx_until.top());
+    if (!sig_until.empty()) next = std::min(next, sig_until.top());
+    if (next > cur) {
+      bucket() += next - cur;
+      cur = next;
+    }
+    while (!ctx_until.empty() && ctx_until.top() <= cur) ctx_until.pop();
+    while (!sig_until.empty() && sig_until.top() <= cur) sig_until.pop();
+    bool applied = false;
+    while (i < events.size() && events[i].t_ns <= cur) {
+      apply(events[i]);
+      ++i;
+      applied = true;
+    }
+    if (!applied && next == cur && cur >= out.makespan_ns &&
+        i >= events.size()) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cbe::analysis

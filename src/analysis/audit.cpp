@@ -1,0 +1,49 @@
+#include "analysis/analysis.hpp"
+
+#include <set>
+
+namespace cbe::analysis {
+
+SchedulerAudit audit_scheduler(const std::vector<trace::Event>& events) {
+  SchedulerAudit out;
+  int busy = 0;
+  int failed = 0;
+  std::set<int> queued;
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::SpeBusy: ++busy; break;
+      case trace::EventKind::SpeIdle: busy = busy > 0 ? busy - 1 : 0; break;
+      case trace::EventKind::FaultFailStop: ++failed; break;
+      case trace::EventKind::TaskQueued:
+        queued.insert(e.pid);
+        ++out.queued_events;
+        break;
+      case trace::EventKind::TaskDispatch:
+        queued.erase(e.pid);
+        break;
+      case trace::EventKind::PpeFallback:
+        queued.erase(e.pid);
+        ++out.ppe_fallbacks;
+        break;
+      case trace::EventKind::Reoffload: ++out.reoffloads; break;
+      case trace::EventKind::WatchdogFire: ++out.watchdog_fires; break;
+      case trace::EventKind::ChunkReassign: ++out.chunk_reassigns; break;
+      case trace::EventKind::DegreeChange: {
+        DegreeDecision d;
+        d.t_ns = e.t_ns;
+        d.new_degree = static_cast<int>(e.a);
+        d.observed_tlp = static_cast<int>(e.b);
+        d.busy_spes = busy;
+        d.queued = static_cast<int>(queued.size());
+        d.failed_spes = failed;
+        out.decisions.push_back(d);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cbe::analysis

@@ -1,0 +1,83 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cbe::analysis {
+
+std::vector<TaskSpan> task_spans(const std::vector<trace::Event>& events,
+                                 std::uint64_t* abandoned) {
+  // Dispatches are matched LIFO per process: a re-offload opens a second
+  // attempt for the same pid, and the TaskComplete that eventually fires
+  // belongs to the newest one.  Older superseded attempts stay open and are
+  // counted as abandoned.
+  std::map<int, std::vector<TaskSpan>> open;  // pid -> attempt stack
+  std::vector<TaskSpan> done;
+  std::uint64_t dropped = 0;
+  for (const trace::Event& e : events) {
+    if (e.kind == trace::EventKind::TaskDispatch) {
+      TaskSpan s;
+      s.pid = e.pid;
+      s.spe = e.spe;
+      s.bootstrap = static_cast<int>(e.a);
+      s.degree = static_cast<int>(e.b);
+      s.start_ns = e.t_ns;
+      open[e.pid].push_back(s);
+    } else if (e.kind == trace::EventKind::TaskComplete) {
+      auto it = open.find(e.pid);
+      if (it == open.end() || it->second.empty()) continue;
+      TaskSpan s = it->second.back();
+      it->second.pop_back();
+      s.end_ns = e.t_ns;
+      done.push_back(s);
+    }
+  }
+  for (const auto& [pid, stack] : open) {
+    (void)pid;
+    dropped += stack.size();
+  }
+  if (abandoned != nullptr) *abandoned = dropped;
+  std::stable_sort(done.begin(), done.end(),
+                   [](const TaskSpan& x, const TaskSpan& y) {
+                     return x.start_ns < y.start_ns;
+                   });
+  return done;
+}
+
+CriticalPath critical_path(const std::vector<TaskSpan>& tasks) {
+  // Longest-duration chain through the interval DAG: an edge i -> j exists
+  // when task j starts at or after task i ends AND the two share a process
+  // (program order) or a master SPE (resource order).  Along any path the
+  // spans are pairwise non-overlapping and inside [0, makespan], so the
+  // path length can never exceed the makespan.
+  CriticalPath out;
+  const std::size_t n = tasks.size();
+  if (n == 0) return out;
+  std::vector<std::int64_t> best(n);   // longest path ending at i
+  std::vector<std::ptrdiff_t> pred(n, -1);
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    best[i] = tasks[i].duration();
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tasks[j].end_ns > tasks[i].start_ns) continue;
+      if (tasks[j].pid != tasks[i].pid && tasks[j].spe != tasks[i].spe) {
+        continue;
+      }
+      const std::int64_t cand = best[j] + tasks[i].duration();
+      if (cand > best[i]) {
+        best[i] = cand;
+        pred[i] = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (best[i] > best[argmax]) argmax = i;
+  }
+  out.length_ns = best[argmax];
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(argmax); i >= 0;
+       i = pred[static_cast<std::size_t>(i)]) {
+    out.steps.push_back(tasks[static_cast<std::size_t>(i)]);
+  }
+  std::reverse(out.steps.begin(), out.steps.end());
+  return out;
+}
+
+}  // namespace cbe::analysis

@@ -1,0 +1,186 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cbe::analysis {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// Percent of makespan, fixed precision for deterministic output.
+std::string pct(std::int64_t part, std::int64_t whole) {
+  const double p = whole > 0 ? 100.0 * static_cast<double>(part) /
+                                   static_cast<double>(whole)
+                             : 0.0;
+  return fmt("%6.2f%%", p);
+}
+
+std::string ms(std::int64_t ns) {
+  return fmt("%10.3f ms", static_cast<double>(ns) * 1e-6);
+}
+
+}  // namespace
+
+Analysis analyze(const std::vector<trace::Event>& events,
+                 std::int64_t makespan_ns) {
+  Analysis a;
+  const std::int64_t last = events.empty() ? 0 : events.back().t_ns;
+  a.makespan_ns = makespan_ns < 0 ? last : std::max(makespan_ns, last);
+  a.spes = build_timelines(events, a.makespan_ns);
+  a.attribution = attribute_makespan(events, a.makespan_ns);
+  a.tasks = task_spans(events, &a.abandoned);
+  a.critical_path = critical_path(a.tasks);
+  a.audit = audit_scheduler(events);
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::TaskDispatch: ++a.dispatches; break;
+      case trace::EventKind::TaskComplete: ++a.completes; break;
+      case trace::EventKind::LoopFork: ++a.loop_forks; break;
+      case trace::EventKind::DmaIssue: ++a.dma_issues; break;
+      case trace::EventKind::DmaFault: ++a.dma_faults; break;
+      default: break;
+    }
+  }
+  return a;
+}
+
+std::string to_text(const Analysis& a) {
+  std::string out;
+  out += fmt("== cell_profiler report ==\n");
+  out += fmt("makespan        %s\n", ms(a.makespan_ns).c_str());
+  out += fmt("tasks           %" PRIu64 " dispatched, %" PRIu64
+             " completed, %" PRIu64 " abandoned, %" PRIu64 " loop forks\n",
+             a.dispatches, a.completes, a.abandoned, a.loop_forks);
+  out += fmt("dma             %" PRIu64 " transfers, %" PRIu64 " faults\n\n",
+             a.dma_issues, a.dma_faults);
+
+  const Attribution& at = a.attribution;
+  out += "-- makespan attribution (each ns charged once; sums exactly) --\n";
+  struct Row { const char* name; std::int64_t v; };
+  const Row rows[] = {
+      {"SPE compute", at.spe_compute_ns}, {"DMA (no SPE busy)", at.dma_ns},
+      {"context switch", at.ctx_switch_ns}, {"signal latency", at.signal_ns},
+      {"fault recovery", at.recovery_ns},  {"queueing", at.queue_ns},
+      {"PPE (residual)", at.ppe_ns},
+  };
+  for (const Row& r : rows) {
+    out += fmt("  %-18s %s  %s\n", r.name, ms(r.v).c_str(),
+               pct(r.v, at.makespan_ns).c_str());
+  }
+  out += fmt("  %-18s %s  %s\n\n", "total", ms(at.sum()).c_str(),
+             pct(at.sum(), at.makespan_ns).c_str());
+
+  out += "-- per-SPE utilization (busy + idle == makespan) --\n";
+  out += "  spe      busy           idle           stall        tasks util\n";
+  for (const SpeTimeline& t : a.spes) {
+    out += fmt("  %3d %s %s %s %6" PRIu64 " %s%s\n", t.spe,
+               ms(t.busy_ns).c_str(), ms(t.idle_ns).c_str(),
+               ms(t.stall_ns).c_str(), t.tasks,
+               pct(t.busy_ns, a.makespan_ns).c_str(),
+               t.failed ? "  [failed]" : "");
+  }
+
+  const CriticalPath& cp = a.critical_path;
+  out += fmt("\n-- critical path: %s over %zu tasks (%s of makespan) --\n",
+             ms(cp.length_ns).c_str(), cp.steps.size(),
+             pct(cp.length_ns, a.makespan_ns).c_str());
+  const std::size_t show = std::min<std::size_t>(cp.steps.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    const TaskSpan& s = cp.steps[i];
+    out += fmt("  [%zu] pid %d  spe %d  bootstrap %d  degree %d  %s -> %s\n",
+               i, s.pid, s.spe, s.bootstrap, s.degree,
+               ms(s.start_ns).c_str(), ms(s.end_ns).c_str());
+  }
+  if (cp.steps.size() > show) {
+    out += fmt("  ... %zu more steps (see --report json)\n",
+               cp.steps.size() - show);
+  }
+
+  const SchedulerAudit& au = a.audit;
+  out += fmt("\n-- scheduler audit: %zu degree changes, %" PRIu64
+             " queued, %" PRIu64 " PPE fallbacks, %" PRIu64
+             " re-offloads, %" PRIu64 " watchdog fires --\n",
+             au.decisions.size(), au.queued_events, au.ppe_fallbacks,
+             au.reoffloads, au.watchdog_fires);
+  for (const DegreeDecision& d : au.decisions) {
+    out += fmt("  t=%s  degree -> %d  (TLP U=%d, busy %d, queued %d, "
+               "failed %d)\n",
+               ms(d.t_ns).c_str(), d.new_degree, d.observed_tlp, d.busy_spes,
+               d.queued, d.failed_spes);
+  }
+  return out;
+}
+
+std::string to_json(const Analysis& a) {
+  std::string o = "{\n";
+  o += "\"schema\":\"cbe-profile-v1\",\n";
+  o += fmt("\"makespan_ns\":%" PRId64 ",\n", a.makespan_ns);
+  o += fmt("\"tasks\":{\"dispatches\":%" PRIu64 ",\"completes\":%" PRIu64
+           ",\"abandoned\":%" PRIu64 ",\"loop_forks\":%" PRIu64
+           ",\"dma_issues\":%" PRIu64 ",\"dma_faults\":%" PRIu64 "},\n",
+           a.dispatches, a.completes, a.abandoned, a.loop_forks,
+           a.dma_issues, a.dma_faults);
+  const Attribution& at = a.attribution;
+  o += fmt("\"attribution\":{\"spe_compute_ns\":%" PRId64
+           ",\"dma_ns\":%" PRId64 ",\"ctx_switch_ns\":%" PRId64
+           ",\"signal_ns\":%" PRId64 ",\"recovery_ns\":%" PRId64
+           ",\"queue_ns\":%" PRId64 ",\"ppe_ns\":%" PRId64
+           ",\"sum_ns\":%" PRId64 "},\n",
+           at.spe_compute_ns, at.dma_ns, at.ctx_switch_ns, at.signal_ns,
+           at.recovery_ns, at.queue_ns, at.ppe_ns, at.sum());
+  o += "\"spes\":[\n";
+  for (std::size_t i = 0; i < a.spes.size(); ++i) {
+    const SpeTimeline& t = a.spes[i];
+    o += fmt("{\"spe\":%d,\"busy_ns\":%" PRId64 ",\"idle_ns\":%" PRId64
+             ",\"stall_ns\":%" PRId64 ",\"tasks\":%" PRIu64
+             ",\"dma_issues\":%" PRIu64 ",\"utilization\":%.6f,"
+             "\"failed\":%s,\"failed_at_ns\":%" PRId64 "}%s\n",
+             t.spe, t.busy_ns, t.idle_ns, t.stall_ns, t.tasks, t.dma_issues,
+             t.utilization(a.makespan_ns), t.failed ? "true" : "false",
+             t.failed_at_ns, i + 1 < a.spes.size() ? "," : "");
+  }
+  o += "],\n";
+  const CriticalPath& cp = a.critical_path;
+  const double ratio =
+      a.makespan_ns > 0 ? static_cast<double>(cp.length_ns) /
+                              static_cast<double>(a.makespan_ns)
+                        : 0.0;
+  o += fmt("\"critical_path\":{\"length_ns\":%" PRId64
+           ",\"ratio\":%.6f,\"steps\":[\n", cp.length_ns, ratio);
+  for (std::size_t i = 0; i < cp.steps.size(); ++i) {
+    const TaskSpan& s = cp.steps[i];
+    o += fmt("{\"pid\":%d,\"spe\":%d,\"bootstrap\":%d,\"degree\":%d,"
+             "\"start_ns\":%" PRId64 ",\"end_ns\":%" PRId64 "}%s\n",
+             s.pid, s.spe, s.bootstrap, s.degree, s.start_ns, s.end_ns,
+             i + 1 < cp.steps.size() ? "," : "");
+  }
+  o += "]},\n";
+  const SchedulerAudit& au = a.audit;
+  o += fmt("\"audit\":{\"queued_events\":%" PRIu64 ",\"ppe_fallbacks\":%"
+           PRIu64 ",\"reoffloads\":%" PRIu64 ",\"watchdog_fires\":%" PRIu64
+           ",\"chunk_reassigns\":%" PRIu64 ",\"decisions\":[\n",
+           au.queued_events, au.ppe_fallbacks, au.reoffloads,
+           au.watchdog_fires, au.chunk_reassigns);
+  for (std::size_t i = 0; i < au.decisions.size(); ++i) {
+    const DegreeDecision& d = au.decisions[i];
+    o += fmt("{\"t_ns\":%" PRId64 ",\"degree\":%d,\"tlp\":%d,"
+             "\"busy_spes\":%d,\"queued\":%d,\"failed_spes\":%d}%s\n",
+             d.t_ns, d.new_degree, d.observed_tlp, d.busy_spes, d.queued,
+             d.failed_spes, i + 1 < au.decisions.size() ? "," : "");
+  }
+  o += "]}\n}\n";
+  return o;
+}
+
+}  // namespace cbe::analysis

@@ -1,0 +1,72 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cbe::analysis {
+
+std::vector<SpeTimeline> build_timelines(
+    const std::vector<trace::Event>& events, std::int64_t makespan_ns) {
+  std::map<int, SpeTimeline> by_spe;
+  std::map<int, std::int64_t> open;  // spe -> current reservation start
+  auto timeline = [&by_spe](int spe) -> SpeTimeline& {
+    SpeTimeline& t = by_spe[spe];
+    t.spe = spe;
+    return t;
+  };
+
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::SpeBusy:
+        open[e.spe] = e.t_ns;
+        timeline(e.spe);
+        break;
+      case trace::EventKind::SpeIdle: {
+        auto it = open.find(e.spe);
+        if (it == open.end()) break;  // release without reserve: ignore
+        SpeTimeline& t = timeline(e.spe);
+        t.busy.push_back(Interval{it->second, e.t_ns});
+        t.busy_ns += e.t_ns - it->second;
+        open.erase(it);
+        break;
+      }
+      case trace::EventKind::EibStall:
+        timeline(e.spe).stall_ns += e.b;
+        break;
+      case trace::EventKind::TaskDispatch:
+        if (e.spe >= 0) ++timeline(e.spe).tasks;
+        break;
+      case trace::EventKind::DmaIssue:
+        if (e.spe >= 0) ++timeline(e.spe).dma_issues;
+        break;
+      case trace::EventKind::FaultFailStop: {
+        SpeTimeline& t = timeline(e.spe);
+        t.failed = true;
+        t.failed_at_ns = e.t_ns;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // A reservation the stream never closed (e.g. the trace was cut, or a
+  // teardown path that released without an event) is closed at the makespan
+  // so the busy+idle tiling invariant holds unconditionally.
+  for (const auto& [spe, start] : open) {
+    SpeTimeline& t = timeline(spe);
+    t.busy.push_back(Interval{start, makespan_ns});
+    t.busy_ns += makespan_ns - start;
+  }
+
+  std::vector<SpeTimeline> out;
+  out.reserve(by_spe.size());
+  for (auto& [spe, t] : by_spe) {
+    (void)spe;
+    t.idle_ns = makespan_ns - t.busy_ns;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace cbe::analysis

@@ -1,0 +1,74 @@
+#include "analysis/trace_parse.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cbe::analysis {
+
+namespace {
+
+const char kHeader[] = "# cbe-trace v1";
+
+void set_err(std::string* err, std::size_t line_no, const std::string& what) {
+  if (err != nullptr) {
+    *err = "line " + std::to_string(line_no) + ": " + what;
+  }
+}
+
+}  // namespace
+
+bool parse_text_trace(const std::string& text,
+                      std::vector<trace::Event>& out,
+                      std::string* err) {
+  out.clear();
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (!saw_header) {
+        if (line != kHeader) {
+          set_err(err, line_no, "unsupported header '" + line + "'");
+          return false;
+        }
+        saw_header = true;
+      }
+      continue;
+    }
+    if (!saw_header) {
+      set_err(err, line_no, "missing '# cbe-trace v1' header");
+      return false;
+    }
+    std::int64_t t = 0, a = 0, b = 0;
+    int spe = 0, pid = 0;
+    char name[64] = {0};
+    const int n = std::sscanf(line.c_str(),
+                              "%" SCNd64 " %63s spe=%d pid=%d a=%" SCNd64
+                              " b=%" SCNd64,
+                              &t, name, &spe, &pid, &a, &b);
+    if (n != 6) {
+      set_err(err, line_no, "malformed event line '" + line + "'");
+      return false;
+    }
+    const trace::EventKind kind = trace::event_kind_from_name(name);
+    if (kind == trace::EventKind::kCount) {
+      set_err(err, line_no, std::string("unknown event name '") + name + "'");
+      return false;
+    }
+    out.push_back(trace::Event{t, a, b, pid, static_cast<std::int16_t>(spe),
+                               kind});
+  }
+  if (!saw_header) {
+    set_err(err, line_no == 0 ? 1 : line_no, "empty input (no header)");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cbe::analysis

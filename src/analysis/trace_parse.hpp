@@ -1,0 +1,21 @@
+// Parser for the deterministic text trace format ("# cbe-trace v1"), the
+// inverse of trace::to_text: lets cell_profiler and offline tooling analyze
+// traces captured by cell_explorer --trace-text or the golden fixtures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cbe::analysis {
+
+/// Parses the text trace format into events.  Returns false (and sets
+/// `err` to a line-numbered diagnostic when non-null) on a missing or
+/// unsupported header, an unknown event name, or a malformed line; `out`
+/// then holds the events parsed before the failure.
+bool parse_text_trace(const std::string& text,
+                      std::vector<trace::Event>& out,
+                      std::string* err = nullptr);
+
+}  // namespace cbe::analysis

@@ -42,9 +42,9 @@ void Ppe::grant(int ctx, Waiter w) {
   c.last_holder = w.pid;
   if (needs_switch) {
     ++switches_;
-    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::CtxSwitch,
-                    ctx, w.pid, prev_holder, 0);
     const sim::Time cost = cfg_.ctx_switch + cfg_.resume_penalty;
+    CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::CtxSwitch,
+                    ctx, w.pid, prev_holder, cost.nanoseconds());
     p.grant_time = eng_.now() + cost;
     eng_.schedule_after(cost, [cb = std::move(w.on_granted)] { cb(); });
   } else {

@@ -1,7 +1,9 @@
 #include "trace/export.hpp"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 namespace cbe::trace {
@@ -133,13 +135,25 @@ std::string to_chrome_json(const std::vector<Event>& events) {
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    std::fprintf(stderr, "trace: cannot open %s for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
     return false;
   }
   const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = (std::fclose(f) == 0) && n == content.size();
-  if (!ok) std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
-  return ok;
+  if (n != content.size()) {
+    // Capture the write error before fclose can clobber errno.
+    std::fprintf(stderr, "trace: short write to %s (%zu of %zu bytes): %s\n",
+                 path.c_str(), n, content.size(), std::strerror(errno));
+    std::fclose(f);
+    return false;
+  }
+  // fclose flushes the stdio buffer; a full disk often only surfaces here.
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "trace: cannot flush %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 }  // namespace cbe::trace

@@ -6,33 +6,12 @@
 
 namespace cbe::trace {
 
-const char* event_name(EventKind k) noexcept {
-  switch (k) {
-    case EventKind::TaskDispatch: return "task_dispatch";
-    case EventKind::TaskComplete: return "task_complete";
-    case EventKind::TaskQueued: return "task_queued";
-    case EventKind::PpeFallback: return "ppe_fallback";
-    case EventKind::DmaIssue: return "dma_issue";
-    case EventKind::DmaRetire: return "dma_retire";
-    case EventKind::DmaFault: return "dma_fault";
-    case EventKind::EibStall: return "eib_stall";
-    case EventKind::CodeLoad: return "code_load";
-    case EventKind::MailboxSignal: return "mailbox";
-    case EventKind::CtxSwitch: return "ctx_switch";
-    case EventKind::SpeBusy: return "spe_busy";
-    case EventKind::SpeIdle: return "spe_idle";
-    case EventKind::LoopFork: return "loop_fork";
-    case EventKind::LoopJoin: return "loop_join";
-    case EventKind::ChunkReassign: return "chunk_reassign";
-    case EventKind::DegreeChange: return "degree_change";
-    case EventKind::FaultFailStop: return "fault_failstop";
-    case EventKind::FaultDegrade: return "fault_degrade";
-    case EventKind::WatchdogFire: return "watchdog_fire";
-    case EventKind::Reoffload: return "reoffload";
-    case EventKind::EngineDrain: return "engine_drain";
-    case EventKind::kCount: break;
+EventKind event_kind_from_name(std::string_view name) noexcept {
+  for (int i = 0; i < static_cast<int>(EventKind::kCount); ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (name == event_name(k)) return k;
   }
-  return "unknown";
+  return EventKind::kCount;
 }
 
 std::uint64_t TraceSink::count(EventKind kind) const noexcept {

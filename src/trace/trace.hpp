@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #ifndef CBE_TRACE_ENABLED
@@ -40,7 +41,8 @@ enum class EventKind : std::uint8_t {
   EibStall,       ///< spe, pid=dma id, a=congestion, b=stall ns
   CodeLoad,       ///< spe, pid=module id, a=bytes, b=variant
   MailboxSignal,  ///< spe, a=latency ns (one-way PPE<->SPE signal)
-  CtxSwitch,      ///< spe=context, pid=new holder, a=previous holder
+  CtxSwitch,      ///< spe=context, pid=new holder, a=previous holder,
+                  ///< b=switch cost ns
   SpeBusy,        ///< spe (reservation begins)
   SpeIdle,        ///< spe (reservation released)
   LoopFork,       ///< spe=master, a=degree, b=iterations
@@ -56,7 +58,58 @@ enum class EventKind : std::uint8_t {
 };
 
 /// Stable short name used by both exporters (and the golden text format).
-const char* event_name(EventKind k) noexcept;
+/// constexpr so coverage is checked at compile time: a kind added without a
+/// name fails the static_assert below instead of printing "unknown" into
+/// goldens.
+constexpr const char* event_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::TaskDispatch: return "task_dispatch";
+    case EventKind::TaskComplete: return "task_complete";
+    case EventKind::TaskQueued: return "task_queued";
+    case EventKind::PpeFallback: return "ppe_fallback";
+    case EventKind::DmaIssue: return "dma_issue";
+    case EventKind::DmaRetire: return "dma_retire";
+    case EventKind::DmaFault: return "dma_fault";
+    case EventKind::EibStall: return "eib_stall";
+    case EventKind::CodeLoad: return "code_load";
+    case EventKind::MailboxSignal: return "mailbox";
+    case EventKind::CtxSwitch: return "ctx_switch";
+    case EventKind::SpeBusy: return "spe_busy";
+    case EventKind::SpeIdle: return "spe_idle";
+    case EventKind::LoopFork: return "loop_fork";
+    case EventKind::LoopJoin: return "loop_join";
+    case EventKind::ChunkReassign: return "chunk_reassign";
+    case EventKind::DegreeChange: return "degree_change";
+    case EventKind::FaultFailStop: return "fault_failstop";
+    case EventKind::FaultDegrade: return "fault_degrade";
+    case EventKind::WatchdogFire: return "watchdog_fire";
+    case EventKind::Reoffload: return "reoffload";
+    case EventKind::EngineDrain: return "engine_drain";
+    case EventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace detail {
+/// Every kind below kCount must have a real, pairwise-distinct name.
+constexpr bool all_event_kinds_named() {
+  constexpr int n = static_cast<int>(EventKind::kCount);
+  for (int i = 0; i < n; ++i) {
+    const std::string_view name = event_name(static_cast<EventKind>(i));
+    if (name == "unknown") return false;
+    for (int j = 0; j < i; ++j) {
+      if (name == event_name(static_cast<EventKind>(j))) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::all_event_kinds_named(),
+              "every EventKind up to kCount needs a unique event_name() "
+              "entry (exporters and the text-trace parser rely on it)");
+
+/// Inverse of event_name; returns kCount when `name` matches no kind.
+EventKind event_kind_from_name(std::string_view name) noexcept;
 
 struct Event {
   std::int64_t t_ns = 0;  ///< simulated ns (or steady-clock ns natively)

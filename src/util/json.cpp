@@ -1,0 +1,144 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cbe::util {
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (s.compare(pos, len, word) != 0) return fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) return fail("unterminated escape");
+        const char e = s[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: out += e; break;  // \uXXXX etc: pass through unexpanded
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= s.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= s.size()) return fail("unexpected end of input");
+    const char c = s[pos];
+    if (c == '{') {
+      ++pos;
+      out.type = Json::Type::Object;
+      skip_ws();
+      if (pos < s.size() && s[pos] == '}') { ++pos; return true; }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos >= s.size() || s[pos] != ':') return fail("expected ':'");
+        ++pos;
+        Json v;
+        if (!parse_value(v)) return false;
+        out.fields.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos < s.size() && s[pos] == ',') { ++pos; continue; }
+        if (pos < s.size() && s[pos] == '}') { ++pos; return true; }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.type = Json::Type::Array;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ']') { ++pos; return true; }
+      for (;;) {
+        Json v;
+        if (!parse_value(v)) return false;
+        out.items.push_back(std::move(v));
+        skip_ws();
+        if (pos < s.size() && s[pos] == ',') { ++pos; continue; }
+        if (pos < s.size() && s[pos] == ']') { ++pos; return true; }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.type = Json::Type::String;
+      return parse_string(out.str);
+    }
+    if (c == 't') { out.type = Json::Type::Bool; out.boolean = true;
+                    return literal("true", 4); }
+    if (c == 'f') { out.type = Json::Type::Bool; out.boolean = false;
+                    return literal("false", 5); }
+    if (c == 'n') { out.type = Json::Type::Null; return literal("null", 4); }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      const char* start = s.c_str() + pos;
+      char* end = nullptr;
+      out.number = std::strtod(start, &end);
+      if (end == start) return fail("bad number");
+      out.type = Json::Type::Number;
+      pos += static_cast<std::size_t>(end - start);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, Json& out, std::string* err) {
+  Parser p{text, 0, {}};
+  out = Json{};
+  if (!p.parse_value(out)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (err != nullptr) {
+      *err = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cbe::util

@@ -1,0 +1,44 @@
+// Minimal recursive-descent JSON reader — just enough for the tools that
+// consume our own emitters (BENCH_*.json, cbe-profile-v1, metrics exports).
+// Not a general-purpose library: numbers parse as double, no \uXXXX escapes
+// beyond pass-through, object keys keep first-seen order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cbe::util {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;                            // Array
+  std::vector<std::pair<std::string, Json>> fields;   // Object, insert order
+
+  bool is_object() const noexcept { return type == Type::Object; }
+  bool is_array() const noexcept { return type == Type::Array; }
+  bool is_number() const noexcept { return type == Type::Number; }
+  bool is_string() const noexcept { return type == Type::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const noexcept {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` into `out`.  Returns false (and sets `err` with an
+/// offset-tagged message) on malformed input or trailing garbage.
+bool parse_json(const std::string& text, Json& out, std::string* err = nullptr);
+
+}  // namespace cbe::util

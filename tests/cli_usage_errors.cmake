@@ -34,6 +34,18 @@ expect_usage_error("${explorer}" --bootstraps=many)
 expect_usage_error("${explorer}" --seed)
 expect_usage_error("${explorer}" --checkpoint-every=1.5x)
 
+# The profiler adds a value-validated enum flag on top of the usual classes.
+set(profiler "${BINDIR}/examples/cell_profiler")
+expect_usage_error("${profiler}" --no-such-flag)
+expect_usage_error("${profiler}" --seed=notanumber)
+expect_usage_error("${profiler}" --report=xml)
+
+# The regression gate is itself under the same contract.
+set(diff "${BINDIR}/tools/bench_diff")
+expect_usage_error("${diff}" --no-such-flag a.json b.json)
+expect_usage_error("${diff}" --threshold=abc a.json b.json)
+expect_usage_error("${diff}" only-one-positional.json)
+
 # Every flag-taking bench rejects the same classes of bad input.
 foreach(b bench_table1 bench_table2 bench_fig7 bench_fig8 bench_fig9
         bench_fig10 bench_ablation bench_cluster bench_faults
