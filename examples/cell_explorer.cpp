@@ -101,6 +101,19 @@ int run_checkpointed_job(const std::string& checkpoint,
   const ckpt::RunReport report = ckpt::run_job(st, opt);
   const std::string text = report.to_text();
   std::fputs(text.c_str(), stdout);
+  if (report.ckpt_io_retries > 0) {
+    std::fprintf(stderr, "checkpoint: %d transient write failure(s) retried\n",
+                 report.ckpt_io_retries);
+  }
+  if (!report.ckpt_error.empty()) {
+    // The job itself completed; exit non-zero because its durability
+    // guarantee did not hold (some snapshots were abandoned).
+    std::fprintf(stderr,
+                 "checkpoint: %d snapshot(s) abandoned after retries; last "
+                 "error: %s\n",
+                 report.ckpt_failed_snapshots, report.ckpt_error.c_str());
+    return 1;
+  }
   if (!out_path.empty()) {
     if (!trace::write_file(out_path, text)) {
       std::fprintf(stderr, "failed to write report to %s\n",

@@ -243,8 +243,9 @@ RunState from_image(const CheckpointImage& image) {
   return st;
 }
 
-void save(const std::string& path, const RunState& st) {
-  write_file_atomic(path, to_image(st).serialize());
+int save(const std::string& path, const RunState& st,
+         const IoRetryPolicy& retry) {
+  return write_file_atomic_retry(path, to_image(st).serialize(), retry);
 }
 
 RunState load(const std::string& path) {

@@ -70,8 +70,12 @@ struct RunState {
 /// Initial state for a cold start.
 RunState make_fresh(const BootstrapJob& job);
 
-/// Serializes `st` and writes it crash-consistently (see format.hpp).
-void save(const std::string& path, const RunState& st);
+/// Serializes `st` and writes it crash-consistently (see format.hpp),
+/// retrying transient I/O failures per `retry`.  Returns the number of write
+/// attempts used (1 = clean write); throws CkptError once retries are
+/// exhausted or on a non-transient error.
+int save(const std::string& path, const RunState& st,
+         const IoRetryPolicy& retry = {});
 
 /// Parses and fully validates a checkpoint; throws CkptError with a
 /// distinct kind/section for every corruption mode.

@@ -1,8 +1,11 @@
 #include "ckpt/format.hpp"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "sim/fault.hpp"
 #include "util/crc32.hpp"
@@ -287,8 +290,37 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return bytes;
 }
 
+namespace {
+std::atomic<int> g_fail_writes{0};
+std::atomic<void (*)(double)> g_retry_sleeper{nullptr};
+}  // namespace
+
+namespace test_hooks {
+
+void fail_next_atomic_writes(int n) noexcept {
+  g_fail_writes.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void set_retry_sleeper(void (*sleeper)(double)) noexcept {
+  g_retry_sleeper.store(sleeper, std::memory_order_relaxed);
+}
+
+}  // namespace test_hooks
+
 void write_file_atomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
+  // Injected transient failure (tests): fail before touching the filesystem
+  // so the previous checkpoint stays untouched, like a real full-disk error.
+  int budget = g_fail_writes.load(std::memory_order_relaxed);
+  while (budget > 0 &&
+         !g_fail_writes.compare_exchange_weak(budget, budget - 1,
+                                              std::memory_order_relaxed)) {
+  }
+  if (budget > 0) {
+    throw CkptError(ErrorKind::Io,
+                    "injected transient write failure for '" + path + "'");
+  }
+
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -331,6 +363,30 @@ void write_file_atomic(const std::string& path,
   }
 #endif
   sim::crash_clock_tick();
+}
+
+int write_file_atomic_retry(const std::string& path,
+                            const std::vector<std::uint8_t>& bytes,
+                            const IoRetryPolicy& policy) {
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  double backoff = policy.base_backoff_s;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      write_file_atomic(path, bytes);
+      return attempt;
+    } catch (const CkptError& e) {
+      if (e.kind() != ErrorKind::Io || attempt >= attempts) throw;
+    }
+    const double delay =
+        backoff < policy.max_backoff_s ? backoff : policy.max_backoff_s;
+    if (void (*sleeper)(double) =
+            g_retry_sleeper.load(std::memory_order_relaxed)) {
+      sleeper(delay);
+    } else if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    backoff *= policy.multiplier;
+  }
 }
 
 }  // namespace cbe::ckpt

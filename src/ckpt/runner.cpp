@@ -77,6 +77,9 @@ RunReport run_job(RunState& st, const RunnerOptions& opt) {
 
   const int total = job.bootstraps;
   const int every = opt.checkpoint_every > 0 ? opt.checkpoint_every : 1;
+  int ckpt_io_retries = 0;
+  int ckpt_failed_snapshots = 0;
+  std::string ckpt_error;
   for (int i = static_cast<int>(st.done.size()); i < total; ++i) {
     // Each replicate consumes exactly one split of the master stream; the
     // checkpoint stores the master state *after* the split, so a resumed
@@ -113,7 +116,16 @@ RunReport run_job(RunState& st, const RunnerOptions& opt) {
     st.crash_position = sim::crash_clock_position();
     if (!opt.checkpoint_path.empty() &&
         ((i + 1) % every == 0 || i + 1 == total)) {
-      save(opt.checkpoint_path, st);
+      // A snapshot that fails after every retry must not burn the hours of
+      // computed progress behind it: record the error in the report (the
+      // run's result), keep going, and try again at the next boundary.
+      try {
+        ckpt_io_retries += save(opt.checkpoint_path, st, opt.ckpt_retry) - 1;
+      } catch (const CkptError& e) {
+        if (!opt.ckpt_best_effort) throw;
+        ++ckpt_failed_snapshots;
+        ckpt_error = std::string(error_kind_name(e.kind())) + ": " + e.what();
+      }
       st.crash_position = sim::crash_clock_position();
     }
   }
@@ -129,6 +141,9 @@ RunReport run_job(RunState& st, const RunnerOptions& opt) {
   }
   report.support = phylo::branch_support(reference.tree, replicate_trees);
   report.sched = st.sched;
+  report.ckpt_io_retries = ckpt_io_retries;
+  report.ckpt_failed_snapshots = ckpt_failed_snapshots;
+  report.ckpt_error = std::move(ckpt_error);
   return report;
 }
 

@@ -19,6 +19,14 @@ struct RunnerOptions {
   std::string checkpoint_path;
   /// Snapshot cadence in replicates (the last replicate always snapshots).
   int checkpoint_every = 1;
+  /// Transient-I/O retry policy for each snapshot write.
+  IoRetryPolicy ckpt_retry;
+  /// With best-effort checkpointing (the default) a snapshot write that
+  /// still fails after every retry no longer aborts the run: the job keeps
+  /// computing, later boundaries try again, and the final error is surfaced
+  /// through RunReport::ckpt_error.  Set false to rethrow instead (a caller
+  /// that would rather die than run unprotected).
+  bool ckpt_best_effort = true;
 };
 
 /// Deterministic end-of-job report.  to_text() is byte-stable across
@@ -30,6 +38,12 @@ struct RunReport {
   std::vector<double> support;           ///< bootstrap support per branch
   SchedCounters sched;
   int total_bootstraps = 0;
+
+  // Checkpoint-write health (excluded from to_text(): the report text must
+  // stay byte-identical across runs that saw different I/O weather).
+  int ckpt_io_retries = 0;      ///< transient write failures retried away
+  int ckpt_failed_snapshots = 0;///< boundaries whose snapshot was given up on
+  std::string ckpt_error;       ///< last unrecoverable write error; "" = none
 
   std::string to_text() const;
 };

@@ -54,6 +54,21 @@ enum class EventKind : std::uint8_t {
   WatchdogFire,   ///< spe=master, pid, a=attempt id
   Reoffload,      ///< spe=-1, pid, a=retry count
   EngineDrain,    ///< a=events processed, b=events still pending
+  // -- Job-service events (src/jobsvc; spe = blade id, pid = job id) -------
+  JobSubmit,      ///< spe=-1, pid=job, a=tenant, b=priority
+  JobAdmit,       ///< spe=-1, pid=job, a=tenant, b=queue depth after admit
+  JobReject,      ///< spe=-1, pid=job, a=tenant, b=reason (AdmissionDecision)
+  JobShed,        ///< spe=-1, pid=shed job, a=tenant, b=displacing job
+  JobDispatch,    ///< spe=blade, pid=job, a=attempt, b=steps already done
+  JobCheckpoint,  ///< spe=blade, pid=job, a=steps done, b=snapshot bytes
+  JobFail,        ///< spe=blade, pid=job, a=attempt, b=reason (FailReason)
+  JobRetry,       ///< spe=-1, pid=job, a=attempt, b=backoff ns
+  JobMigrate,     ///< spe=new blade (-1 while queued), pid=job,
+                  ///< a=lost blade, b=steps restored from the snapshot
+  JobComplete,    ///< spe=blade, pid=job, a=attempt, b=latency ns
+  BladeFail,      ///< spe=blade, a=jobs in flight, b=1 fail-stop / 0 degrade
+  BreakerOpen,    ///< spe=blade, a=consecutive failures, b=cooloff ns
+  BreakerClose,   ///< spe=blade (half-open probe succeeded)
   kCount
 };
 
@@ -85,6 +100,19 @@ constexpr const char* event_name(EventKind k) noexcept {
     case EventKind::WatchdogFire: return "watchdog_fire";
     case EventKind::Reoffload: return "reoffload";
     case EventKind::EngineDrain: return "engine_drain";
+    case EventKind::JobSubmit: return "job_submit";
+    case EventKind::JobAdmit: return "job_admit";
+    case EventKind::JobReject: return "job_reject";
+    case EventKind::JobShed: return "job_shed";
+    case EventKind::JobDispatch: return "job_dispatch";
+    case EventKind::JobCheckpoint: return "job_ckpt";
+    case EventKind::JobFail: return "job_fail";
+    case EventKind::JobRetry: return "job_retry";
+    case EventKind::JobMigrate: return "job_migrate";
+    case EventKind::JobComplete: return "job_complete";
+    case EventKind::BladeFail: return "blade_fail";
+    case EventKind::BreakerOpen: return "breaker_open";
+    case EventKind::BreakerClose: return "breaker_close";
     case EventKind::kCount: break;
   }
   return "unknown";

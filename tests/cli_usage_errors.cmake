@@ -40,6 +40,12 @@ expect_usage_error("${profiler}" --no-such-flag)
 expect_usage_error("${profiler}" --seed=notanumber)
 expect_usage_error("${profiler}" --report=xml)
 
+# The job service driver is under the same contract.
+set(jobsvc "${BINDIR}/examples/cell_jobsvc")
+expect_usage_error("${jobsvc}" --no-such-flag)
+expect_usage_error("${jobsvc}" --jobs=many)
+expect_usage_error("${jobsvc}" --blade-fail-rate=high)
+
 # The regression gate is itself under the same contract.
 set(diff "${BINDIR}/tools/bench_diff")
 expect_usage_error("${diff}" --no-such-flag a.json b.json)
@@ -49,7 +55,7 @@ expect_usage_error("${diff}" only-one-positional.json)
 # Every flag-taking bench rejects the same classes of bad input.
 foreach(b bench_table1 bench_table2 bench_fig7 bench_fig8 bench_fig9
         bench_fig10 bench_ablation bench_cluster bench_faults
-        bench_opt_ladder bench_ckpt)
+        bench_opt_ladder bench_ckpt bench_jobs)
   expect_usage_error("${BINDIR}/bench/${b}" --no-such-flag)
   expect_usage_error("${BINDIR}/bench/${b}" --seed=notanumber)
 endforeach()

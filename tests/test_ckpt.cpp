@@ -345,5 +345,106 @@ TEST(CkptRunner, CheckpointCadenceHonored) {
   std::remove(path.c_str());
 }
 
+// -- transient-I/O hardening of snapshot writes ------------------------------
+
+// Installs a no-op sleeper (tests must not really back off) and guarantees
+// the injection budget is cleared again even when an assertion throws.
+struct RetryHooksGuard {
+  RetryHooksGuard() {
+    test_hooks::set_retry_sleeper(+[](double) {});
+  }
+  ~RetryHooksGuard() {
+    test_hooks::fail_next_atomic_writes(0);
+    test_hooks::set_retry_sleeper(nullptr);
+  }
+};
+
+TEST(CkptRetry, TransientWriteFailuresAreRetriedAway) {
+  RetryHooksGuard guard;
+  const std::string path = temp_path("retry_ok.ckpt");
+  const RunState st = sample_state();
+  test_hooks::fail_next_atomic_writes(2);
+  IoRetryPolicy policy;
+  policy.max_attempts = 5;
+  const int attempts = save(path, st, policy);
+  EXPECT_EQ(attempts, 3);  // two injected failures, then success
+  const RunState back = load(path);
+  EXPECT_EQ(to_image(back).serialize(), to_image(st).serialize());
+  std::remove(path.c_str());
+}
+
+TEST(CkptRetry, ExhaustedRetriesSurfaceTheIoError) {
+  RetryHooksGuard guard;
+  const std::string path = temp_path("retry_fail.ckpt");
+  const RunState st = sample_state();
+  test_hooks::fail_next_atomic_writes(100);
+  IoRetryPolicy policy;
+  policy.max_attempts = 3;
+  try {
+    save(path, st, policy);
+    FAIL() << "save() should have thrown after exhausting retries";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Io);
+  }
+}
+
+// A run whose snapshots keep failing still completes and reports the same
+// bytes — the checkpoint trouble is surfaced through the side channel, not
+// by corrupting the result or aborting the job.
+TEST(CkptRetry, RunnerBestEffortSurvivesPersistentWriteFailure) {
+  RetryHooksGuard guard;
+  RunState clean = make_fresh(tiny_job());
+  const RunReport clean_rep = run_job(clean, {});
+
+  const std::string path = temp_path("retry_besteffort.ckpt");
+  RunnerOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 1;
+  opt.ckpt_retry.max_attempts = 2;
+  test_hooks::fail_next_atomic_writes(1000000);
+  RunState st = make_fresh(tiny_job());
+  const RunReport rep = run_job(st, opt);
+  test_hooks::fail_next_atomic_writes(0);
+
+  EXPECT_GT(rep.ckpt_failed_snapshots, 0);
+  EXPECT_NE(rep.ckpt_error.find("io:"), std::string::npos) << rep.ckpt_error;
+  // The report text ignores I/O weather entirely.
+  EXPECT_EQ(rep.to_text(), clean_rep.to_text());
+}
+
+TEST(CkptRetry, RunnerStrictModeRethrows) {
+  RetryHooksGuard guard;
+  const std::string path = temp_path("retry_strict.ckpt");
+  RunnerOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 1;
+  opt.ckpt_retry.max_attempts = 2;
+  opt.ckpt_best_effort = false;
+  test_hooks::fail_next_atomic_writes(1000000);
+  RunState st = make_fresh(tiny_job());
+  EXPECT_THROW(run_job(st, opt), CkptError);
+  test_hooks::fail_next_atomic_writes(0);
+}
+
+TEST(CkptRetry, RunnerCountsRetriesThatSucceeded) {
+  RetryHooksGuard guard;
+  const std::string path = temp_path("retry_counted.ckpt");
+  RunnerOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 1;
+  opt.ckpt_retry.max_attempts = 4;
+  test_hooks::fail_next_atomic_writes(2);  // first snapshot needs 3 attempts
+  RunState st = make_fresh(tiny_job());
+  const RunReport rep = run_job(st, opt);
+  EXPECT_EQ(rep.ckpt_io_retries, 2);
+  EXPECT_EQ(rep.ckpt_failed_snapshots, 0);
+  EXPECT_TRUE(rep.ckpt_error.empty());
+  // Later snapshots (no injection left) wrote the complete run.
+  const RunState final_state = load(path);
+  EXPECT_EQ(final_state.done.size(),
+            static_cast<std::size_t>(tiny_job().bootstraps));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cbe::ckpt
