@@ -4,6 +4,7 @@
 // the reproduction itself, not simulated Cell time.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,7 +97,7 @@ void BM_NewviewSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_NewviewSimd);
 
-void BM_Evaluate(benchmark::State& state) {
+void BM_EvaluateScalar(benchmark::State& state) {
   auto& f = fixture();
   for (auto _ : state) {
     const double lnl =
@@ -105,7 +106,7 @@ void BM_Evaluate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * f.pa->patterns());
 }
-BENCHMARK(BM_Evaluate);
+BENCHMARK(BM_EvaluateScalar);
 
 void BM_EvaluateSimd(benchmark::State& state) {
   auto& f = fixture();
@@ -117,6 +118,28 @@ void BM_EvaluateSimd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.pa->patterns());
 }
 BENCHMARK(BM_EvaluateSimd);
+
+void BM_MakeSumtableScalar(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<double> st;
+  for (auto _ : state) {
+    phylo::make_sumtable(f.left, f.right, *f.model, st);
+    benchmark::DoNotOptimize(st.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_MakeSumtableScalar);
+
+void BM_MakeSumtableSimd(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<double> st;
+  for (auto _ : state) {
+    phylo::make_sumtable_simd(f.left, f.right, *f.model, st);
+    benchmark::DoNotOptimize(st.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.pa->patterns());
+}
+BENCHMARK(BM_MakeSumtableSimd);
 
 void BM_FastExp(benchmark::State& state) {
   double x = -30.0;
@@ -156,23 +179,64 @@ void BM_GammaRates(benchmark::State& state) {
 BENCHMARK(BM_GammaRates);
 
 /// Console reporter that also funnels every run's adjusted real time (ns,
-/// the suite's default unit) into the cbe-bench-v1 report.
+/// the suite's default unit) into the cbe-bench-v1 report, and keeps the
+/// raw samples around so main() can derive per-site and SIMD-ratio series.
 class ReportingConsole final : public benchmark::ConsoleReporter {
  public:
-  explicit ReportingConsole(bench::BenchReport* report) : report_(report) {}
+  ReportingConsole(bench::BenchReport* report,
+                   std::map<std::string, std::vector<double>>* samples)
+      : report_(report), samples_(samples) {}
   void ReportRuns(const std::vector<Run>& runs) override {
-    if (report_ != nullptr) {
-      for (const Run& run : runs) {
-        report_->add_sample(run.benchmark_name(),
-                            run.GetAdjustedRealTime() * 1e-9);
-      }
+    for (const Run& run : runs) {
+      const double seconds = run.GetAdjustedRealTime() * 1e-9;
+      if (report_ != nullptr) report_->add_sample(run.benchmark_name(), seconds);
+      if (samples_ != nullptr) (*samples_)[run.benchmark_name()].push_back(seconds);
     }
     ConsoleReporter::ReportRuns(runs);
   }
 
  private:
   bench::BenchReport* report_;
+  std::map<std::string, std::vector<double>>* samples_;
 };
+
+/// Derived series for the kernel benches.  Raw medians are wall times on
+/// whatever machine ran the bench; the simd/scalar ratios are dimensionless
+/// and machine-portable, which is what lets CI gate them against a
+/// committed baseline (bench_diff --only=ratio/).  Ratios are stored in
+/// permille in the report's integer ns field: 1000 = parity, lower = SIMD
+/// faster.
+void add_derived_series(
+    bench::BenchReport& report,
+    const std::map<std::string, std::vector<double>>& samples) {
+  const int patterns = fixture().pa->patterns();
+  const auto median_of = [&](const char* name) {
+    const auto it = samples.find(name);
+    return it == samples.end() || it->second.empty()
+               ? 0.0
+               : cbe::util::median(it->second);
+  };
+  const struct {
+    const char* scalar;
+    const char* simd;
+    const char* key;
+  } kKernels[] = {
+      {"BM_NewviewScalar", "BM_NewviewSimd", "newview"},
+      {"BM_EvaluateScalar", "BM_EvaluateSimd", "evaluate"},
+      {"BM_MakeSumtableScalar", "BM_MakeSumtableSimd", "make_sumtable"},
+  };
+  for (const auto& k : kKernels) {
+    const double s = median_of(k.scalar);
+    const double v = median_of(k.simd);
+    if (s <= 0.0 || v <= 0.0) continue;  // bench filtered out of this run
+    report.add_sample(std::string("per_site/") + k.key + "_scalar",
+                      s / patterns);
+    report.add_sample(std::string("per_site/") + k.key + "_simd",
+                      v / patterns);
+    report.add_sample(std::string("ratio/") + k.key + "_simd_over_scalar",
+                      (v / s) * 1e-6);
+  }
+}
 
 }  // namespace
 
@@ -201,9 +265,14 @@ int main(int argc, char** argv) {
   cbe::util::Cli cli(static_cast<int>(fake.size()), fake.data());
   cbe::bench::BenchReport report(cli, "micro");
   report.config("suite", std::string("google-benchmark"));
+  report.config("kernel_taxa", 16);
+  report.config("kernel_sites", 912);
+  report.config("simd_compiled", cbe::phylo::simd_compiled() ? 1 : 0);
 
-  ReportingConsole console(report.enabled() ? &report : nullptr);
+  std::map<std::string, std::vector<double>> samples;
+  ReportingConsole console(report.enabled() ? &report : nullptr, &samples);
   benchmark::RunSpecifiedBenchmarks(&console);
+  if (report.enabled()) add_derived_series(report, samples);
   benchmark::Shutdown();
   return report.write() ? 0 : 1;
 }

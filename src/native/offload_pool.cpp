@@ -7,11 +7,29 @@
 
 namespace cbe::native {
 
+namespace {
+
+/// Identifies the pool (if any) the current thread is a worker of, so
+/// enqueue() can take the lock-free own-deque fast path.  Pool identity is
+/// checked on every use: threads of pool A submitting into pool B go
+/// through B's injection queue like any external thread.
+struct WorkerTls {
+  OffloadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerTls tls_worker;
+
+}  // namespace
+
 OffloadPool::OffloadPool(int workers) {
   if (workers <= 0) {
     workers = std::max(1u, std::thread::hardware_concurrency()) > 1
                   ? static_cast<int>(std::thread::hardware_concurrency()) - 1
                   : 1;
+  }
+  deques_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WorkStealingDeque<Job>>());
   }
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -46,21 +64,71 @@ OffloadPool::~OffloadPool() {
   {
     std::lock_guard lock(mu_);
     stop_ = true;
+    ++work_epoch_;
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  // Workers drain everything before exiting; anything left here means a
+  // task was submitted after shutdown began — never run, but not leaked.
+  for (Job* j : queue_) delete j;
+  for (auto& d : deques_) {
+    while (Job* j = d->pop()) delete j;
+  }
 }
 
 int OffloadPool::idle_workers() const noexcept {
   return workers() - busy_.load(std::memory_order_relaxed);
 }
 
-void OffloadPool::enqueue(std::function<void()> job) {
+void OffloadPool::wake_one() {
+  // Lock-free in the common no-sleepers case.  When someone is (or is
+  // about to be) parked, bump the epoch under the lock so the sleeper's
+  // predicate observes it; a sleeper that raced past the check parks for
+  // at most one wait_for timeout.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(job));
+    ++work_epoch_;
   }
   cv_.notify_one();
+}
+
+void OffloadPool::enqueue(Job job) {
+  auto* node = new Job(std::move(job));
+  if (tls_worker.pool == this && tls_worker.index >= 0 &&
+      deques_[static_cast<std::size_t>(tls_worker.index)]->push(node)) {
+    wake_one();  // lock-free fast path: own-deque push succeeded
+    return;
+  }
+  // External submitter, or the own deque is full: shared injection queue.
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(node);
+    ++work_epoch_;
+  }
+  cv_.notify_one();
+}
+
+OffloadPool::Job* OffloadPool::try_steal(int self) noexcept {
+  const int n = static_cast<int>(deques_.size());
+  // Two sweeps so one lost CAS per victim doesn't abandon a loaded deque.
+  for (int round = 0; round < 2; ++round) {
+    for (int k = 1; k < n; ++k) {
+      const int victim = (self + k) % n;
+      if (Job* j = deques_[static_cast<std::size_t>(victim)]->steal()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return j;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool OffloadPool::any_deque_nonempty() const noexcept {
+  for (const auto& d : deques_) {
+    if (d->maybe_nonempty()) return true;
+  }
+  return false;
 }
 
 std::future<void> OffloadPool::offload(std::function<void()> task) {
@@ -193,23 +261,48 @@ void OffloadPool::watchdog_loop() {
 }
 
 void OffloadPool::worker_loop(int index) {
+  tls_worker = WorkerTls{this, index};
 #if CBE_TRACE_ENABLED
   // Lazily (re-)attach this worker's single-writer buffer when a sink is
   // installed; the buffer pointer is thread-private from then on.
   trace::ConcurrentTraceSink* attached_to = nullptr;
   trace::ConcurrentTraceSink::Buffer* buf = nullptr;
-#else
-  (void)index;
 #endif
+  WorkStealingDeque<Job>& own = *deques_[static_cast<std::size_t>(index)];
   for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+    // Own deque (LIFO, lock-free) -> injection queue -> steal (FIFO).
+    Job* job = own.pop();
+    if (job == nullptr) {
+      std::lock_guard lock(mu_);
+      if (!queue_.empty()) {
+        job = queue_.front();
+        queue_.pop_front();
+      }
     }
+    if (job == nullptr) job = try_steal(index);
+    if (job == nullptr) {
+      std::unique_lock lock(mu_);
+      if (!queue_.empty()) continue;  // raced an injection: rescan
+      if (stop_) {
+        lock.unlock();
+        // Drain stragglers other workers left behind before exiting: a
+        // worker only exits once every visible source is empty.
+        if (any_deque_nonempty()) continue;
+        return;
+      }
+      const std::uint64_t epoch = work_epoch_;
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      // The timeout is the backstop for the one benign race (a producer
+      // that read sleepers_ == 0 just before this park): it bounds the
+      // latency of a lost wakeup, it is not needed for correctness of
+      // shutdown (stop_ bumps the epoch under the lock).
+      cv_.wait_for(lock, std::chrono::milliseconds(1), [this, epoch] {
+        return stop_ || !queue_.empty() || work_epoch_ != epoch;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      continue;
+    }
+
     busy_.fetch_add(1, std::memory_order_relaxed);
 #if CBE_TRACE_ENABLED
     trace::ConcurrentTraceSink* sink =
@@ -228,7 +321,8 @@ void OffloadPool::worker_loop(int index) {
           trace::EventKind::TaskDispatch, index, task_id);
     }
 #endif
-    job();
+    (*job)();
+    delete job;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
 #if CBE_TRACE_ENABLED
     const auto t1 = std::chrono::steady_clock::now();
@@ -254,12 +348,18 @@ void OffloadPool::parallel_for(
   grain = std::max<std::int64_t>(grain, 1);
   degree = std::clamp(degree, 1, workers() + 1);
 
-  // Shared, self-contained loop state.  Helpers that start late (or after
-  // the loop already finished) find the cursor exhausted and return, so the
-  // master never has to wait for *queued-but-unstarted* helpers — that wait
-  // is what would deadlock a pool whose workers nest parallel_for inside
-  // off-loaded tasks.  The master instead waits on the completed-iteration
-  // counter, which only running participants advance.
+  // Shared, self-contained loop state.  Chunks are claimed from one atomic
+  // cursor, so every index in [begin, end) is covered by exactly one chunk
+  // — including the short tail when the trip count does not divide evenly
+  // (hi is clamped to end; the next claimant sees lo >= end and stops).
+  // Helpers that start late (or after the loop already finished) find the
+  // cursor exhausted and return, so the master never has to wait for
+  // *queued-but-unstarted* helpers — that wait is what would deadlock a
+  // pool whose workers nest parallel_for inside off-loaded tasks.  The
+  // master instead waits on the completed-iteration counter, which only
+  // running participants advance.  Helper tasks are submitted through
+  // enqueue(), so a helper spawned from a worker lands in that worker's
+  // own deque and idle peers pick it up by stealing.
   struct LoopState {
     std::atomic<std::int64_t> cursor;
     std::atomic<std::int64_t> completed{0};

@@ -7,6 +7,17 @@
 // serve off-loaded tasks, and a work-sharing primitive that splits a loop
 // across the *idle* workers, master-participating — the host analogue of the
 // paper's LLP executor.
+//
+// Execution is work-stealing (DESIGN.md §9): each worker owns a bounded
+// Chase–Lev deque.  A task submitted from a worker thread of this pool is
+// pushed lock-free onto that worker's own deque (the fast path — nested
+// off-loads and parallel_for helpers never touch a lock); tasks submitted
+// from outside, and overflow from a full deque, go through a mutex-guarded
+// shared injection queue.  An idle worker drains its own deque LIFO, then
+// the injection queue, then steals FIFO from its peers (lock-free CAS);
+// only after all three come up empty does it park on a condition variable
+// with a short timeout backstop, so a lost wakeup race costs at most one
+// timeout period of latency, never liveness.
 #pragma once
 
 #include <atomic>
@@ -21,6 +32,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "native/work_deque.hpp"
 
 namespace cbe::trace {
 class ConcurrentTraceSink;
@@ -158,6 +171,10 @@ class OffloadPool {
   std::uint64_t deadline_misses() const noexcept {
     return deadline_misses_.load(std::memory_order_relaxed);
   }
+  /// Tasks a worker took from another worker's deque.
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
   /// Streams per-task dispatch/complete events into `sink` (timestamps are
   /// steady-clock ns since pool construction; spe=worker index).  Each
@@ -169,6 +186,8 @@ class OffloadPool {
   void set_metrics(trace::MetricsRegistry* m);
 
  private:
+  using Job = std::function<void()>;
+
   struct Deadline {
     std::chrono::steady_clock::time_point at;
     std::shared_ptr<DeadlineToken::State> state;
@@ -181,15 +200,27 @@ class OffloadPool {
   void enqueue(std::function<void()> job);
   void worker_loop(int index);
   void watchdog_loop();
+  /// Wakes one parked worker iff any are parked (lock-free check first).
+  void wake_one();
+  /// Steals one task from a peer deque, scanning from `self + 1`.
+  Job* try_steal(int self) noexcept;
+  bool any_deque_nonempty() const noexcept;
 
+  // Shared injection queue (external submitters + deque overflow) and the
+  // park/wake channel; `mu_` guards queue_, stop_, work_epoch_, sleepers_.
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job*> queue_;
+  std::uint64_t work_epoch_ = 0;  ///< bumped per lock-free push, for waits
+  std::atomic<int> sleepers_{0};  ///< parked workers (producers peek at it)
+  // Per-worker Chase–Lev deques; stable addresses across the pool's life.
+  std::vector<std::unique_ptr<WorkStealingDeque<Job>>> deques_;
   std::vector<std::thread> threads_;
   bool stop_ = false;
   std::atomic<int> busy_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> steals_{0};
 
   // Observability (see set_trace / set_metrics).
   const std::chrono::steady_clock::time_point epoch_ =

@@ -1,0 +1,115 @@
+// Bounded Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), the
+// per-worker queue of the native offload pool.  One owner thread pushes and
+// pops at the bottom (LIFO — hot tasks stay cache-warm); any number of
+// thieves steal from the top (FIFO — the oldest, usually largest, work
+// migrates).  All cross-thread synchronization is plain C++ atomics with
+// seq_cst ordering on the contended top/bottom indices: marginally slower
+// than the fence-based formulation of Lê et al., but free of standalone
+// fences, which ThreadSanitizer does not model — the TSan CI job must be
+// able to prove this structure clean, not flag it.
+//
+// Boundedness: the ring never grows.  push() refuses when capacity tasks
+// are in flight and the caller falls back to the pool's shared injection
+// queue, so overload degrades to the old mutex path instead of allocating.
+//
+// Protocol invariants (see DESIGN.md §9):
+//   - top_ only ever increases; a slot is read by at most one consumer
+//     because advancing top_ is a CAS and the owner's pop of the last
+//     element races through the same CAS.
+//   - bottom_ is written only by the owner.  The owner publishes a pushed
+//     task with a seq_cst store to bottom_; a thief that observes the new
+//     bottom_ therefore observes the slot contents (store/load on bottom_
+//     is also release/acquire).
+//   - pop() reserves the bottom element by decrementing bottom_ BEFORE
+//     reading top_ (both seq_cst, forming the required store-load
+//     ordering); if the deque might now be empty it either restores
+//     bottom_ or fights thieves for the single remaining element with the
+//     same CAS thieves use.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cbe::native {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  /// `capacity` is rounded up to a power of two; at most that many tasks
+  /// can be in flight in this deque at once.
+  explicit WorkStealingDeque(std::size_t capacity = 4096) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<std::atomic<T*>>(cap);
+    mask_ = cap - 1;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only.  False when the deque is full (caller must fall back to a
+  /// shared queue — dropping the task is not an option).
+  bool push(T* t) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t top = top_.load(std::memory_order_acquire);
+    if (b - top >= static_cast<std::int64_t>(mask_ + 1)) return false;
+    slots_[static_cast<std::size_t>(b) & mask_].store(
+        t, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only.  Nullptr when empty.
+  T* pop() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t top = top_.load(std::memory_order_seq_cst);
+    if (top > b) {  // was empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* t = slots_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (top != b) return t;  // more than one element: the bottom is ours
+    // Single element: win it with the thieves' CAS or lose it to one.
+    if (!top_.compare_exchange_strong(top, top + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      t = nullptr;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return t;
+  }
+
+  /// Any thread.  Nullptr when empty or when the steal lost a race (the
+  /// caller treats both as "try elsewhere").
+  T* steal() noexcept {
+    std::int64_t top = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (top >= b) return nullptr;
+    T* t = slots_[static_cast<std::size_t>(top) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(top, top + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return t;
+  }
+
+  /// Racy size hint for "is there anything worth stealing / draining".
+  bool maybe_nonempty() const noexcept {
+    return bottom_.load(std::memory_order_acquire) >
+           top_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::atomic<T*>> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace cbe::native

@@ -1,45 +1,94 @@
 #include "phylo/kernels_simd.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
-#include "spu/mathlib.hpp"
+#include "spu/vec.hpp"
+
+// Bit-identity discipline: every arithmetic statement below mirrors one
+// statement of the scalar reference in kernels.cpp, with the state loop
+// mapped onto vector lanes.  Lane-wise vector ops are IEEE-754 per lane and
+// left-associative expressions keep the reference's rounding order; the
+// translation unit is compiled with -ffp-contract=off (see
+// src/phylo/CMakeLists.txt) so no mul+add fuses into an FMA on either side.
+// Change the reference and you must change this file the same way — the
+// differential tests compare the two with memcmp.
 
 namespace cbe::phylo {
 
+bool simd_compiled() noexcept { return CBE_SIMD_VECTOR_EXT != 0; }
+
+bool simd_env_enabled(const char* value) noexcept {
+  if (value == nullptr) return true;
+  char norm[8] = {};
+  std::size_t n = 0;
+  for (; value[n] != '\0' && n < sizeof norm - 1; ++n) {
+    norm[n] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[n])));
+  }
+  if (value[n] != '\0') return true;  // long string: not a disable token
+  const char* off[] = {"off", "0", "scalar", "false", "no"};
+  for (const char* o : off) {
+    if (__builtin_strcmp(norm, o) == 0) return false;
+  }
+  return true;
+}
+
+bool simd_enabled() noexcept {
+  static const bool enabled =
+      simd_compiled() && simd_env_enabled(std::getenv("CBE_SIMD"));
+  return enabled;
+}
+
+#if CBE_SIMD_VECTOR_EXT
+
 namespace {
 
-using spu::double2;
+using spu::vdouble4;
+using spu::vload4;
+using spu::vsplat4;
+using spu::vstore4;
 
-/// P matrix reshaped for 2-lane state pairs: pair 0 covers target states
-/// {0,1}, pair 1 covers {2,3}; col[pair][j] = {P[s0][j], P[s1][j]}.
-struct Pmat2 {
-  double2 col[2][4];
-};
+/// P matrix transposed into column vectors: col[j] lane s = P[s][j].  With
+/// this layout the four per-state dot products of newview/evaluate become
+/// column-scaled accumulation, one lane per target state.
+struct PmatT {
+  vdouble4 col[4];
 
-struct BranchP2 {
-  Pmat2 p[kRateCategories];
-
-  static BranchP2 from(const BranchP& bp) {
-    BranchP2 out;
-    for (int r = 0; r < kRateCategories; ++r) {
-      const double* m = bp.p[static_cast<std::size_t>(r)].data();
-      for (int pair = 0; pair < 2; ++pair) {
-        const int s0 = pair * 2, s1 = pair * 2 + 1;
-        for (int j = 0; j < 4; ++j) {
-          out.p[r].col[pair][j] = double2{{m[s0 * 4 + j], m[s1 * 4 + j]}};
-        }
-      }
+  static PmatT from(const Pmatrix& m) noexcept {
+    PmatT t;
+    for (int j = 0; j < 4; ++j) {
+      t.col[j] = vdouble4{m[static_cast<std::size_t>(0 * 4 + j)],
+                          m[static_cast<std::size_t>(1 * 4 + j)],
+                          m[static_cast<std::size_t>(2 * 4 + j)],
+                          m[static_cast<std::size_t>(3 * 4 + j)]};
     }
-    return out;
+    return t;
   }
 };
 
-/// 2-lane dot product of a reshaped matrix pair-row with a 4-state vector.
-inline double2 pair_dot(const double2 (&col)[4], const double* v) {
-  double2 acc = col[0] * double2::splat(v[0]);
-  acc = madd(col[1], double2::splat(v[1]), acc);
-  acc = madd(col[2], double2::splat(v[2]), acc);
-  acc = madd(col[3], double2::splat(v[3]), acc);
+struct BranchPT {
+  PmatT p[kRateCategories];
+
+  static BranchPT from(const BranchP& bp) noexcept {
+    BranchPT t;
+    for (int r = 0; r < kRateCategories; ++r) {
+      t.p[r] = PmatT::from(bp.p[static_cast<std::size_t>(r)]);
+    }
+    return t;
+  }
+};
+
+/// Lane s = m[s][0]*v[0] + m[s][1]*v[1] + m[s][2]*v[2] + m[s][3]*v[3],
+/// evaluated strictly left-to-right — the exact rounding order of the
+/// scalar reference's per-state dot product.
+inline vdouble4 dot_rows(const PmatT& m, const double* v) noexcept {
+  vdouble4 acc = m.col[0] * vsplat4(v[0]);
+  acc = acc + m.col[1] * vsplat4(v[1]);
+  acc = acc + m.col[2] * vsplat4(v[2]);
+  acc = acc + m.col[3] * vsplat4(v[3]);
   return acc;
 }
 
@@ -53,8 +102,9 @@ void newview_simd(const Clv<double>& left, const BranchP& pl,
     throw std::invalid_argument("newview_simd: pattern count mismatch");
   }
   out.resize(patterns, kRateCategories);
-  const BranchP2 pl2 = BranchP2::from(pl);
-  const BranchP2 pr2 = BranchP2::from(pr);
+  const BranchPT plt = BranchPT::from(pl);
+  const BranchPT prt = BranchPT::from(pr);
+  const vdouble4 two256 = vsplat4(kTwoTo256);
 
   for (int p = 0; p < patterns; ++p) {
     bool all_small = true;
@@ -63,17 +113,13 @@ void newview_simd(const Clv<double>& left, const BranchP& pl,
           (static_cast<std::size_t>(p) * kRateCategories +
            static_cast<std::size_t>(r)) *
           kStates;
-      const double* lv = &left.data[base];
-      const double* rv = &right.data[base];
-      double* ov = &out.data[base];
-      for (int pair = 0; pair < 2; ++pair) {
-        const double2 dl = pair_dot(pl2.p[r].col[pair], lv);
-        const double2 dr = pair_dot(pr2.p[r].col[pair], rv);
-        const double2 o = dl * dr;
-        o.store(ov + pair * 2);
-        all_small = all_small && o[0] < kMinLikelihood &&
-                    o[1] < kMinLikelihood;
-      }
+      const vdouble4 dl = dot_rows(plt.p[r], &left.data[base]);
+      const vdouble4 dr = dot_rows(prt.p[r], &right.data[base]);
+      const vdouble4 o = dl * dr;
+      vstore4(&out.data[base], o);
+      all_small = all_small && o[0] < kMinLikelihood &&
+                  o[1] < kMinLikelihood && o[2] < kMinLikelihood &&
+                  o[3] < kMinLikelihood;
     }
     out.scale[static_cast<std::size_t>(p)] =
         left.scale[static_cast<std::size_t>(p)] +
@@ -81,10 +127,9 @@ void newview_simd(const Clv<double>& left, const BranchP& pl,
     if (all_small) {
       const std::size_t base =
           static_cast<std::size_t>(p) * kRateCategories * kStates;
-      const double2 f = double2::splat(kTwoTo256);
-      for (int k = 0; k < kRateCategories * kStates; k += 2) {
-        (double2::load(&out.data[base + static_cast<std::size_t>(k)]) * f)
-            .store(&out.data[base + static_cast<std::size_t>(k)]);
+      for (int k = 0; k < kRateCategories * kStates; k += 4) {
+        double* q = &out.data[base + static_cast<std::size_t>(k)];
+        vstore4(q, vload4(q) * two256);
       }
       out.scale[static_cast<std::size_t>(p)] += 1;
     }
@@ -99,10 +144,9 @@ double evaluate_simd(const Clv<double>& a, const Clv<double>& b,
       static_cast<int>(weights.size()) != patterns) {
     throw std::invalid_argument("evaluate_simd: size mismatch");
   }
-  const BranchP2 pb2 = BranchP2::from(pb);
+  const BranchPT pbt = BranchPT::from(pb);
   const auto& pi = model.freqs();
-  const double2 pi01{{pi[0], pi[1]}};
-  const double2 pi23{{pi[2], pi[3]}};
+  const vdouble4 piv = vdouble4{pi[0], pi[1], pi[2], pi[3]};
   const double rate_w = 1.0 / kRateCategories;
   double lnl = 0.0;
 
@@ -113,21 +157,135 @@ double evaluate_simd(const Clv<double>& a, const Clv<double>& b,
           (static_cast<std::size_t>(p) * kRateCategories +
            static_cast<std::size_t>(r)) *
           kStates;
-      const double* av = &a.data[base];
-      const double* bv = &b.data[base];
-      const double2 inner01 = pair_dot(pb2.p[r].col[0], bv);
-      const double2 inner23 = pair_dot(pb2.p[r].col[1], bv);
-      const double2 term =
-          madd(pi23 * double2::load(av + 2), inner23,
-               pi01 * double2::load(av) * inner01);
-      site += rate_w * term.hsum();
+      const vdouble4 inner = dot_rows(pbt.p[r], &b.data[base]);
+      // Lane i = (pi[i] * a[i]) * inner_i — the reference's
+      // `pi[i] * av[i] * inner` with its left-associative grouping.
+      const vdouble4 t = (piv * vload4(&a.data[base])) * inner;
+      // The reference accumulates `term = term + t_i` for i = 0..3; repeat
+      // that scalar chain so the additions round identically.
+      double term = 0.0;
+      term = term + t[0];
+      term = term + t[1];
+      term = term + t[2];
+      term = term + t[3];
+      site = site + rate_w * term;
     }
+    // std::log, not spu::fast_log: bit-identity with the reference is the
+    // contract here, and log is a per-pattern (not per-state) cost.
+    const double logsite = std::log(site);
     const int sc = a.scale[static_cast<std::size_t>(p)] +
                    b.scale[static_cast<std::size_t>(p)];
     lnl += weights[static_cast<std::size_t>(p)] *
-           (spu::fast_log(site) - static_cast<double>(sc) * kLogTwoTo256);
+           (logsite - static_cast<double>(sc) * kLogTwoTo256);
   }
   return lnl;
+}
+
+void make_sumtable_simd(const Clv<double>& a, const Clv<double>& b,
+                        const SubstModel& model,
+                        std::vector<double>& sumtable) {
+  const int patterns = a.patterns();
+  if (b.patterns() != patterns) {
+    throw std::invalid_argument("make_sumtable_simd: size mismatch");
+  }
+  sumtable.assign(static_cast<std::size_t>(patterns) * kRateCategories *
+                      kStates,
+                  0.0);
+  const auto& pi = model.freqs();
+  const auto& left = model.left();
+  const auto& right = model.right();
+  // pileft rows are contiguous (row i = pileft[i*4 .. i*4+3], lane index
+  // k), so the lhs sweep loads them directly; right needs the transpose.
+  std::array<double, 16> pileft{};
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      pileft[static_cast<std::size_t>(i * 4 + k)] =
+          pi[static_cast<std::size_t>(i)] *
+          left[static_cast<std::size_t>(i * 4 + k)];
+    }
+  }
+  vdouble4 plrow[4];
+  for (int i = 0; i < 4; ++i) plrow[i] = vload4(&pileft[static_cast<std::size_t>(i * 4)]);
+  vdouble4 rcol[4];
+  for (int j = 0; j < 4; ++j) {
+    rcol[j] = vdouble4{right[static_cast<std::size_t>(0 * 4 + j)],
+                       right[static_cast<std::size_t>(1 * 4 + j)],
+                       right[static_cast<std::size_t>(2 * 4 + j)],
+                       right[static_cast<std::size_t>(3 * 4 + j)]};
+  }
+
+  for (int p = 0; p < patterns; ++p) {
+    for (int r = 0; r < kRateCategories; ++r) {
+      const std::size_t base =
+          (static_cast<std::size_t>(p) * kRateCategories +
+           static_cast<std::size_t>(r)) *
+          kStates;
+      const double* av = &a.data[base];
+      const double* bv = &b.data[base];
+      // Lane k = pileft[0][k]*av[0] + pileft[1][k]*av[1] + ... — the
+      // reference's lhs chain, left-to-right.
+      vdouble4 lhs = plrow[0] * vsplat4(av[0]);
+      lhs = lhs + plrow[1] * vsplat4(av[1]);
+      lhs = lhs + plrow[2] * vsplat4(av[2]);
+      lhs = lhs + plrow[3] * vsplat4(av[3]);
+      // Lane k = right[k][0]*bv[0] + right[k][1]*bv[1] + ... — the rhs
+      // chain.
+      vdouble4 rhs = rcol[0] * vsplat4(bv[0]);
+      rhs = rhs + rcol[1] * vsplat4(bv[1]);
+      rhs = rhs + rcol[2] * vsplat4(bv[2]);
+      rhs = rhs + rcol[3] * vsplat4(bv[3]);
+      vstore4(&sumtable[base], lhs * rhs);
+    }
+  }
+}
+
+#else  // !CBE_SIMD_VECTOR_EXT: scalar forwarding keeps every caller green.
+
+void newview_simd(const Clv<double>& left, const BranchP& pl,
+                  const Clv<double>& right, const BranchP& pr,
+                  Clv<double>& out) {
+  newview(left, pl, right, pr, out);
+}
+
+double evaluate_simd(const Clv<double>& a, const Clv<double>& b,
+                     const BranchP& pb, const SubstModel& model,
+                     const std::vector<double>& weights) {
+  return evaluate(a, b, pb, model, weights);
+}
+
+void make_sumtable_simd(const Clv<double>& a, const Clv<double>& b,
+                        const SubstModel& model,
+                        std::vector<double>& sumtable) {
+  make_sumtable(a, b, model, sumtable);
+}
+
+#endif  // CBE_SIMD_VECTOR_EXT
+
+void newview_dispatch(const Clv<double>& left, const BranchP& pl,
+                      const Clv<double>& right, const BranchP& pr,
+                      Clv<double>& out) {
+  if (simd_enabled()) {
+    newview_simd(left, pl, right, pr, out);
+  } else {
+    newview(left, pl, right, pr, out);
+  }
+}
+
+double evaluate_dispatch(const Clv<double>& a, const Clv<double>& b,
+                         const BranchP& pb, const SubstModel& model,
+                         const std::vector<double>& weights) {
+  return simd_enabled() ? evaluate_simd(a, b, pb, model, weights)
+                        : evaluate(a, b, pb, model, weights);
+}
+
+void make_sumtable_dispatch(const Clv<double>& a, const Clv<double>& b,
+                            const SubstModel& model,
+                            std::vector<double>& sumtable) {
+  if (simd_enabled()) {
+    make_sumtable_simd(a, b, model, sumtable);
+  } else {
+    make_sumtable(a, b, model, sumtable);
+  }
 }
 
 }  // namespace cbe::phylo

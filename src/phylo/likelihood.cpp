@@ -1,5 +1,7 @@
 #include "phylo/likelihood.hpp"
 
+#include "phylo/kernels_simd.hpp"
+
 #include <stdexcept>
 
 namespace cbe::phylo {
@@ -66,7 +68,7 @@ const Clv<double>& LikelihoodEngine::compute_dir(int edge, int node) {
   if (n2 < 0) throw std::logic_error("compute_dir: internal node degree < 3");
   const Clv<double>& c1 = compute_dir(e1, n1);
   const Clv<double>& c2 = compute_dir(e2, n2);
-  newview(c1, branch_p(e1), c2, branch_p(e2), slot.clv);
+  newview_dispatch(c1, branch_p(e1), c2, branch_p(e2), slot.clv);
   notify(task::KernelClass::Newview);
   slot.valid = true;
   return slot.clv;
@@ -85,8 +87,8 @@ double LikelihoodEngine::loglik(int edge) {
   const auto [a, b] = tree_->edge_nodes(edge);
   const Clv<double>& ca = compute_dir(edge, a);
   const Clv<double>& cb = compute_dir(edge, b);
-  const double lnl =
-      evaluate(ca, cb, branch_p(edge), *model_, alignment_->weights());
+  const double lnl = evaluate_dispatch(ca, cb, branch_p(edge), *model_,
+                                       alignment_->weights());
   notify(task::KernelClass::Evaluate);
   return lnl;
 }
@@ -98,7 +100,7 @@ double LikelihoodEngine::optimize_branch(Tree& tree, int edge) {
   const Clv<double>& cb = compute_dir(edge, b);
 
   std::vector<double> sumtable;
-  make_sumtable(ca, cb, *model_, sumtable);
+  make_sumtable_dispatch(ca, cb, *model_, sumtable);
   std::vector<int> scale_sum(static_cast<std::size_t>(ca.patterns()));
   for (int p = 0; p < ca.patterns(); ++p) {
     scale_sum[static_cast<std::size_t>(p)] =
@@ -144,12 +146,11 @@ double LikelihoodEngine::insertion_score(int leaf, int edge,
   const BranchP ph = BranchP::at(*model_, half);
 
   Clv<double> cx;
-  newview(ca, ph, cb, ph, cx);
+  newview_dispatch(ca, ph, cb, ph, cx);
   notify(task::KernelClass::Newview);
-  const double lnl =
-      evaluate(cx, tips_[static_cast<std::size_t>(leaf)],
-               BranchP::at(*model_, leaf_length), *model_,
-               alignment_->weights());
+  const double lnl = evaluate_dispatch(
+      cx, tips_[static_cast<std::size_t>(leaf)],
+      BranchP::at(*model_, leaf_length), *model_, alignment_->weights());
   notify(task::KernelClass::Evaluate);
   return lnl;
 }
@@ -194,12 +195,12 @@ double LikelihoodEngine::nni_score(int edge, int variant) {
   const Clv<double>& cd = compute_dir(d_edge, d_node);
 
   Clv<double> cu, cv;
-  newview(ca, branch_p(a_edge), cc, branch_p(c_edge), cu);
+  newview_dispatch(ca, branch_p(a_edge), cc, branch_p(c_edge), cu);
   notify(task::KernelClass::Newview);
-  newview(cb, branch_p(b_edge), cd, branch_p(d_edge), cv);
+  newview_dispatch(cb, branch_p(b_edge), cd, branch_p(d_edge), cv);
   notify(task::KernelClass::Newview);
-  const double lnl =
-      evaluate(cu, cv, branch_p(edge), *model_, alignment_->weights());
+  const double lnl = evaluate_dispatch(cu, cv, branch_p(edge), *model_,
+                                       alignment_->weights());
   notify(task::KernelClass::Evaluate);
   return lnl;
 }

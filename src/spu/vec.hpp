@@ -72,6 +72,50 @@ struct double2 {
   double hsum() const noexcept { return v[0] + v[1]; }
 };
 
+// ---- Genuine SIMD: compiler vector extensions -------------------------
+//
+// The types above are *models* (plain loops the compiler may or may not
+// auto-vectorize).  `vdouble4` below is the real thing: a GCC/Clang vector
+// type that lowers to native SIMD registers (one AVX op, or a pair of SSE2
+// ops, per arithmetic operator).  The vectorized likelihood kernels are
+// written against it.
+//
+// CBE_SIMD_VECTOR_EXT is 1 when the extension is available and the build
+// did not force the scalar fallback (cmake -DCBE_SIMD=OFF defines
+// CBE_SIMD_SCALAR_ONLY).  Kernels guarded by it must keep a scalar path so
+// every build configuration stays green.
+#if defined(__GNUC__) && !defined(CBE_SIMD_SCALAR_ONLY)
+#define CBE_SIMD_VECTOR_EXT 1
+#else
+#define CBE_SIMD_VECTOR_EXT 0
+#endif
+
+#if CBE_SIMD_VECTOR_EXT
+
+/// Four IEEE doubles in one vector register (AVX ymm, or two SSE2 xmm).
+/// Lane arithmetic is plain IEEE-754: `a + b` rounds each lane exactly like
+/// the corresponding scalar `+`, so kernels built from these stay
+/// bit-identical to their scalar references as long as the translation unit
+/// is compiled with -ffp-contract=off (no silent FMA fusion on either
+/// side).
+typedef double vdouble4 __attribute__((vector_size(32)));
+
+/// Unaligned load/store via memcpy — lowers to vmovupd/movupd; CLV data is
+/// only guaranteed 8-byte aligned.
+inline vdouble4 vload4(const double* p) noexcept {
+  vdouble4 r;
+  __builtin_memcpy(&r, p, sizeof r);
+  return r;
+}
+
+inline void vstore4(double* p, vdouble4 x) noexcept {
+  __builtin_memcpy(p, &x, sizeof x);
+}
+
+inline vdouble4 vsplat4(double x) noexcept { return vdouble4{x, x, x, x}; }
+
+#endif  // CBE_SIMD_VECTOR_EXT
+
 /// Branchless select: lanes where mask >= 0 take `a`, else `b`.  Mirrors the
 /// SPU `selb` idiom used to vectorize data-dependent conditionals.
 inline double2 select_ge0(double2 mask, double2 a, double2 b) noexcept {

@@ -1,0 +1,286 @@
+// Differential harness for the vectorized likelihood kernels: every SIMD
+// kernel must be BIT-identical (memcmp, not tolerance) to the scalar
+// reference in phylo/kernels.cpp, across randomized models, branch lengths,
+// pattern counts (including the 0 / 1 / odd tails a lane-width bug would
+// hit first), random CLV contents, and inputs tiny enough to force the
+// 2^256 rescaling path.  When the vector code is compiled out the *_simd
+// symbols forward to the reference and the comparisons hold trivially, so
+// the suite is meaningful in every build configuration.
+#include "phylo/kernels_simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace cbe::phylo {
+namespace {
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// A random CLV whose entries span many magnitudes; `tiny_fraction` of the
+/// patterns get values near kMinLikelihood so newview's underflow rescue
+/// actually fires.  Random pre-existing scale counts exercise the
+/// scale-propagation arithmetic too.
+Clv<double> random_clv(int patterns, std::mt19937_64& rng,
+                       double tiny_fraction = 0.0) {
+  Clv<double> clv;
+  clv.resize(patterns, kRateCategories);
+  std::uniform_real_distribution<double> unit(1e-3, 1.0);
+  std::uniform_int_distribution<int> scale_dist(0, 3);
+  std::bernoulli_distribution tiny(tiny_fraction);
+  for (int p = 0; p < patterns; ++p) {
+    const double mag = tiny(rng) ? 1e-70 : 1.0;
+    for (int r = 0; r < kRateCategories; ++r) {
+      for (int s = 0; s < kStates; ++s) {
+        clv.data[(static_cast<std::size_t>(p) * kRateCategories + r) *
+                     kStates +
+                 s] = unit(rng) * mag;
+      }
+    }
+    clv.scale[static_cast<std::size_t>(p)] = scale_dist(rng);
+  }
+  return clv;
+}
+
+SubstModel random_model(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> kappa(1.2, 6.0);
+  std::uniform_real_distribution<double> alpha(0.3, 2.5);
+  std::uniform_real_distribution<double> f(0.1, 1.0);
+  std::array<double, 4> freqs{f(rng), f(rng), f(rng), f(rng)};
+  double sum = freqs[0] + freqs[1] + freqs[2] + freqs[3];
+  for (double& x : freqs) x /= sum;
+  return SubstModel(GtrParams::hky(kappa(rng), freqs), alpha(rng));
+}
+
+std::vector<double> random_weights(int patterns, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> w(1.0, 9.0);
+  std::vector<double> weights(static_cast<std::size_t>(patterns));
+  for (double& x : weights) x = w(rng);
+  return weights;
+}
+
+// Pattern counts chosen to straddle every lane-width boundary: empty, one,
+// below/at/above a vector width, odd primes, and a larger bulk size.
+const int kPatternTails[] = {0, 1, 2, 3, 4, 5, 7, 13, 64, 257};
+
+TEST(KernelsDifferential, NewviewBitIdenticalAcrossTails) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (int patterns : kPatternTails) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const SubstModel model = random_model(rng);
+      std::uniform_real_distribution<double> blen(0.001, 1.5);
+      const BranchP pl = BranchP::at(model, blen(rng));
+      const BranchP pr = BranchP::at(model, blen(rng));
+      const Clv<double> left = random_clv(patterns, rng, 0.3);
+      const Clv<double> right = random_clv(patterns, rng, 0.3);
+      Clv<double> ref, simd;
+      newview(left, pl, right, pr, ref);
+      newview_simd(left, pl, right, pr, simd);
+      ASSERT_TRUE(bits_equal(ref.data, simd.data))
+          << "patterns=" << patterns << " rep=" << rep;
+      ASSERT_EQ(ref.scale, simd.scale)
+          << "patterns=" << patterns << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelsDifferential, NewviewRescuePathBitIdentical) {
+  // All-tiny inputs: every pattern goes through the 2^256 rescue.
+  std::mt19937_64 rng(7);
+  const SubstModel model = random_model(rng);
+  const BranchP p = BranchP::at(model, 0.02);
+  const Clv<double> left = random_clv(33, rng, 1.0);
+  const Clv<double> right = random_clv(33, rng, 1.0);
+  Clv<double> ref, simd;
+  newview(left, p, right, p, ref);
+  newview_simd(left, p, right, p, simd);
+  ASSERT_TRUE(bits_equal(ref.data, simd.data));
+  ASSERT_EQ(ref.scale, simd.scale);
+  int rescued = 0;
+  for (std::size_t i = 0; i < ref.scale.size(); ++i) {
+    rescued += ref.scale[i] - left.scale[i] - right.scale[i];
+  }
+  EXPECT_GT(rescued, 0) << "rescue path not exercised — test is vacuous";
+}
+
+TEST(KernelsDifferential, EvaluateBitIdenticalAcrossTails) {
+  std::mt19937_64 rng(0xBEEFu);
+  for (int patterns : kPatternTails) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const SubstModel model = random_model(rng);
+      std::uniform_real_distribution<double> blen(0.001, 1.5);
+      const BranchP pb = BranchP::at(model, blen(rng));
+      const Clv<double> a = random_clv(patterns, rng, 0.2);
+      const Clv<double> b = random_clv(patterns, rng, 0.2);
+      const std::vector<double> weights = random_weights(patterns, rng);
+      const double ref = evaluate(a, b, pb, model, weights);
+      const double simd = evaluate_simd(a, b, pb, model, weights);
+      ASSERT_TRUE(bits_equal(ref, simd))
+          << "patterns=" << patterns << " rep=" << rep << " ref=" << ref
+          << " simd=" << simd;
+    }
+  }
+}
+
+TEST(KernelsDifferential, MakeSumtableBitIdenticalAcrossTails) {
+  std::mt19937_64 rng(0xFACEu);
+  for (int patterns : kPatternTails) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const SubstModel model = random_model(rng);
+      const Clv<double> a = random_clv(patterns, rng, 0.2);
+      const Clv<double> b = random_clv(patterns, rng, 0.2);
+      std::vector<double> ref, simd;
+      make_sumtable(a, b, model, ref);
+      make_sumtable_simd(a, b, model, simd);
+      ASSERT_TRUE(bits_equal(ref, simd))
+          << "patterns=" << patterns << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelsDifferential, NewtonAgreesOnEitherSumtable) {
+  // End-to-end makenewz: identical sumtables must drive Newton to the
+  // bit-identical branch length in the same number of iterations.
+  std::mt19937_64 rng(99);
+  for (int rep = 0; rep < 8; ++rep) {
+    const SubstModel model = random_model(rng);
+    const int patterns = 31;
+    const Clv<double> a = random_clv(patterns, rng, 0.1);
+    const Clv<double> b = random_clv(patterns, rng, 0.1);
+    const std::vector<double> weights = random_weights(patterns, rng);
+    std::vector<int> scale_sum(static_cast<std::size_t>(patterns));
+    for (int p = 0; p < patterns; ++p) {
+      scale_sum[static_cast<std::size_t>(p)] =
+          a.scale[static_cast<std::size_t>(p)] +
+          b.scale[static_cast<std::size_t>(p)];
+    }
+    std::vector<double> st_ref, st_simd;
+    make_sumtable(a, b, model, st_ref);
+    make_sumtable_simd(a, b, model, st_simd);
+    int it_ref = 0, it_simd = 0;
+    const double t_ref = newton_branch_length(st_ref, scale_sum, model,
+                                              weights, 0.1, 32, &it_ref);
+    const double t_simd = newton_branch_length(st_simd, scale_sum, model,
+                                               weights, 0.1, 32, &it_simd);
+    ASSERT_TRUE(bits_equal(t_ref, t_simd)) << "rep=" << rep;
+    ASSERT_EQ(it_ref, it_simd) << "rep=" << rep;
+  }
+}
+
+TEST(KernelsDifferential, DeepNewviewChainStaysBitIdentical) {
+  // Iterated application: any per-call rounding difference would compound
+  // and surface here even if a single call happened to agree.
+  std::mt19937_64 rng(1234);
+  const SubstModel model = random_model(rng);
+  const BranchP p = BranchP::at(model, 0.15);
+  const Clv<double> tip = random_clv(21, rng, 0.0);
+  Clv<double> ref = tip, simd = tip;
+  for (int depth = 0; depth < 40; ++depth) {
+    Clv<double> nref, nsimd;
+    newview(ref, p, tip, p, nref);
+    newview_simd(simd, p, tip, p, nsimd);
+    ref = std::move(nref);
+    simd = std::move(nsimd);
+    ASSERT_TRUE(bits_equal(ref.data, simd.data)) << "depth=" << depth;
+    ASSERT_EQ(ref.scale, simd.scale) << "depth=" << depth;
+  }
+  int total = 0;
+  for (int s : ref.scale) total += s;
+  EXPECT_GT(total, 0) << "deep chain never rescaled — too shallow";
+}
+
+TEST(KernelsDifferential, RealAlignmentPipelineBitIdentical) {
+  // Tips from a synthetic alignment (gap columns included) rather than
+  // random CLVs: the tip encoding path feeds both kernels identically.
+  Alignment al = make_synthetic_alignment([] {
+    SyntheticAlignmentConfig c;
+    c.taxa = 8;
+    c.sites = 501;  // odd on purpose
+    c.mean_branch_length = 0.07;
+    c.seed = 11;
+    return c;
+  }());
+  PatternAlignment pa(al);
+  const SubstModel model(GtrParams::hky(2.0, pa.base_frequencies()), 0.8);
+  Clv<double> t0, t1, t2;
+  init_tip_clv(pa, 0, t0);
+  init_tip_clv(pa, 1, t1);
+  init_tip_clv(pa, 2, t2);
+  const BranchP p1 = BranchP::at(model, 0.12);
+  const BranchP p2 = BranchP::at(model, 0.31);
+  Clv<double> ref, simd;
+  newview(t0, p1, t1, p2, ref);
+  newview_simd(t0, p1, t1, p2, simd);
+  ASSERT_TRUE(bits_equal(ref.data, simd.data));
+  const BranchP proot = BranchP::at(model, 0.18);
+  ASSERT_TRUE(bits_equal(evaluate(ref, t2, proot, model, pa.weights()),
+                         evaluate_simd(simd, t2, proot, model, pa.weights())));
+  std::vector<double> st_ref, st_simd;
+  make_sumtable(ref, t2, model, st_ref);
+  make_sumtable_simd(simd, t2, model, st_simd);
+  ASSERT_TRUE(bits_equal(st_ref, st_simd));
+}
+
+TEST(KernelsDifferential, DispatchMatchesSelectedPath) {
+  // Whatever simd_enabled() resolved to in this process, the dispatch entry
+  // points must agree bit-for-bit with both implementations (which the
+  // tests above prove identical to each other).
+  std::mt19937_64 rng(5);
+  const SubstModel model = random_model(rng);
+  const BranchP p = BranchP::at(model, 0.2);
+  const Clv<double> left = random_clv(17, rng, 0.2);
+  const Clv<double> right = random_clv(17, rng, 0.2);
+  Clv<double> ref, via_dispatch;
+  newview(left, p, right, p, ref);
+  newview_dispatch(left, p, right, p, via_dispatch);
+  ASSERT_TRUE(bits_equal(ref.data, via_dispatch.data));
+  ASSERT_EQ(ref.scale, via_dispatch.scale);
+  const std::vector<double> weights = random_weights(17, rng);
+  ASSERT_TRUE(bits_equal(evaluate(left, right, p, model, weights),
+                         evaluate_dispatch(left, right, p, model, weights)));
+  std::vector<double> st_ref, st_dispatch;
+  make_sumtable(left, right, model, st_ref);
+  make_sumtable_dispatch(left, right, model, st_dispatch);
+  ASSERT_TRUE(bits_equal(st_ref, st_dispatch));
+}
+
+TEST(KernelsDifferential, EnvParserSelectsScalarOnDisableTokens) {
+  // The CBE_SIMD escape-hatch grammar (README): these disable ...
+  EXPECT_FALSE(simd_env_enabled("off"));
+  EXPECT_FALSE(simd_env_enabled("OFF"));
+  EXPECT_FALSE(simd_env_enabled("Off"));
+  EXPECT_FALSE(simd_env_enabled("0"));
+  EXPECT_FALSE(simd_env_enabled("scalar"));
+  EXPECT_FALSE(simd_env_enabled("SCALAR"));
+  EXPECT_FALSE(simd_env_enabled("false"));
+  EXPECT_FALSE(simd_env_enabled("False"));
+  EXPECT_FALSE(simd_env_enabled("no"));
+  // ... and everything else (including unset) leaves SIMD on.
+  EXPECT_TRUE(simd_env_enabled(nullptr));
+  EXPECT_TRUE(simd_env_enabled(""));
+  EXPECT_TRUE(simd_env_enabled("on"));
+  EXPECT_TRUE(simd_env_enabled("1"));
+  EXPECT_TRUE(simd_env_enabled("vector"));
+  EXPECT_TRUE(simd_env_enabled("offbeat"));  // prefix is not a match
+  EXPECT_TRUE(simd_env_enabled("a-very-long-unrecognized-value"));
+}
+
+TEST(KernelsDifferential, SimdEnabledRequiresCompiledSupport) {
+  if (!simd_compiled()) {
+    EXPECT_FALSE(simd_enabled())
+        << "scalar-only build must never claim the vector path";
+  }
+}
+
+}  // namespace
+}  // namespace cbe::phylo

@@ -35,16 +35,18 @@ TEST_F(SimdTest, NewviewMatchesScalar) {
   Clv<double> scalar, simd;
   newview(tip0, p1, tip1, p2, scalar);
   newview_simd(tip0, p1, tip1, p2, simd);
+  // The SIMD kernels are bit-identical to the reference by contract (see
+  // kernels_simd.hpp and test_kernels_differential.cpp), so no tolerance.
   ASSERT_EQ(scalar.data.size(), simd.data.size());
   for (std::size_t i = 0; i < scalar.data.size(); ++i) {
-    EXPECT_NEAR(simd.data[i], scalar.data[i],
-                1e-13 * (1.0 + std::fabs(scalar.data[i])));
+    EXPECT_EQ(simd.data[i], scalar.data[i]) << "element " << i;
   }
   EXPECT_EQ(scalar.scale, simd.scale);
 }
 
-TEST_F(SimdTest, NewviewChainStaysClose) {
-  // Repeated application must not diverge (madd vs mul+add rounding).
+TEST_F(SimdTest, NewviewChainStaysIdentical) {
+  // Repeated application must not diverge by even one rounding (a stray
+  // FMA or re-associated dot product would show up here).
   const BranchP p = BranchP::at(model, 0.2);
   Clv<double> a = tip0, b = tip0;
   for (int i = 0; i < 20; ++i) {
@@ -55,12 +57,11 @@ TEST_F(SimdTest, NewviewChainStaysClose) {
     b = std::move(nb);
   }
   for (std::size_t i = 0; i < a.data.size(); ++i) {
-    const double denom = std::max(std::fabs(a.data[i]), 1e-300);
-    EXPECT_LT(std::fabs(a.data[i] - b.data[i]) / denom, 1e-9);
+    EXPECT_EQ(a.data[i], b.data[i]) << "element " << i;
   }
 }
 
-TEST_F(SimdTest, EvaluateMatchesScalarWithinFastLogTolerance) {
+TEST_F(SimdTest, EvaluateMatchesScalarExactly) {
   const BranchP p1 = BranchP::at(model, 0.1);
   const BranchP p2 = BranchP::at(model, 0.25);
   Clv<double> internal;
@@ -70,7 +71,7 @@ TEST_F(SimdTest, EvaluateMatchesScalarWithinFastLogTolerance) {
       evaluate(internal, tip2, proot, model, pa.weights());
   const double simd =
       evaluate_simd(internal, tip2, proot, model, pa.weights());
-  EXPECT_NEAR(simd, scalar, 1e-6 * std::fabs(scalar));
+  EXPECT_EQ(simd, scalar);
 }
 
 TEST_F(SimdTest, ScalingParityOnDeepChains) {

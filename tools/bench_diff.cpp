@@ -2,13 +2,21 @@
 // run's per-series medians against a committed baseline under a relative
 // noise threshold.
 //
-//   bench_diff [--threshold=X] [--scale=X] [--ignore-config] BASELINE CURRENT
+//   bench_diff [--threshold=X] [--scale=X] [--only=PREFIX] [--ignore-config]
+//              BASELINE CURRENT
 //
 //   --threshold=X      allowed relative slowdown before a series counts as a
 //                      regression (default 0.10 = 10%)
 //   --scale=X          multiplies the current medians before comparing; the
 //                      CI self-test injects --scale=2 to prove the gate
 //                      actually fires on a 2x slowdown
+//   --only=PREFIX      restrict the comparison to series whose name starts
+//                      with PREFIX (both sides).  Lets CI gate the
+//                      machine-portable series of a report (e.g. the
+//                      "ratio/" simd-vs-scalar series of BENCH_micro) while
+//                      ignoring raw wall times that vary per machine.  A
+//                      prefix matching nothing in the baseline is an error,
+//                      not a silent pass.
 //   --ignore-config    compare even when the config_hash fields differ
 //
 // Exit codes: 0 = within threshold, 1 = regression (or incomparable
@@ -99,10 +107,11 @@ int main(int argc, char** argv) {
   cbe::util::Cli cli(argc, argv);
   const double threshold = cli.get_double("threshold", 0.10);
   const double scale = cli.get_double("scale", 1.0);
+  const std::string only = cli.get("only", "");
   const bool ignore_config = cli.get_bool("ignore-config", false);
   const std::string usage =
-      "bench_diff [--threshold=X] [--scale=X] [--ignore-config] "
-      "BASELINE.json CURRENT.json";
+      "bench_diff [--threshold=X] [--scale=X] [--only=PREFIX] "
+      "[--ignore-config] BASELINE.json CURRENT.json";
   cli.enforce_usage_or_exit(usage);
   if (cli.positional().size() != 2) {
     std::fprintf(stderr, "usage: %s\n", usage.c_str());
@@ -116,6 +125,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_diff: %s\nusage: %s\n", err.c_str(),
                  usage.c_str());
     return 2;
+  }
+
+  if (!only.empty()) {
+    const auto keep_prefixed = [&only](Report& r) {
+      std::vector<Series> kept;
+      for (const Series& s : r.series) {
+        if (s.name.rfind(only, 0) == 0) kept.push_back(s);
+      }
+      r.series = std::move(kept);
+    };
+    keep_prefixed(base);
+    keep_prefixed(cur);
+    if (base.series.empty()) {
+      std::fprintf(stderr,
+                   "bench_diff: --only=%s matches no baseline series — a "
+                   "typo here would turn the gate into a no-op\n",
+                   only.c_str());
+      return 1;
+    }
   }
 
   if (base.bench != cur.bench) {
