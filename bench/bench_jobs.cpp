@@ -96,6 +96,18 @@ int main(int argc, char** argv) {
                         completed > 0
                             ? makespan / static_cast<double>(completed)
                             : 0.0);
+      // Long-run memory guard (ISSUE 8): the service cancels most of the
+      // watchdog/deadline events it schedules, so the event queue must stay
+      // proportional to *live* events — before the dead-entry compaction
+      // fix this churn leaked one resident corpse per cancel.
+      if (rep.engine_queue_peak > 2 * rep.engine_live_peak + 64) {
+        std::fprintf(stderr,
+                     "bench_jobs: engine queue leak: queue_peak=%llu "
+                     "live_peak=%llu\n",
+                     static_cast<unsigned long long>(rep.engine_queue_peak),
+                     static_cast<unsigned long long>(rep.engine_live_peak));
+        return 3;
+      }
     }
     std::printf(
         "%-5s jobs=%d completed=%llu failed=%llu migrations=%llu "

@@ -114,6 +114,16 @@ int main(int argc, char** argv) {
   const jobsvc::ServiceReport rep = svc.run(jobsvc::make_job_mix(mix));
 
   std::fputs(rep.to_text().c_str(), stdout);
+  // Sustained watchdog churn must not leak event-queue memory: resident
+  // entries (live + cancelled corpses) stay proportional to live events.
+  if (rep.engine_queue_peak > 2 * rep.engine_live_peak + 64) {
+    std::fprintf(stderr,
+                 "cell_jobsvc: engine queue leak: queue_peak=%llu "
+                 "live_peak=%llu\n",
+                 static_cast<unsigned long long>(rep.engine_queue_peak),
+                 static_cast<unsigned long long>(rep.engine_live_peak));
+    return 3;
+  }
   if (!results_dest.empty() && !emit(results_dest, rep.results_text()))
     return 2;
   if (!metrics_dest.empty() && !emit(metrics_dest, metrics.to_json() + "\n"))

@@ -137,7 +137,10 @@ struct Analysis {
 /// Full analysis of a totally ordered event stream.  `makespan_ns` < 0
 /// derives the run length from the last event's timestamp; passing the
 /// engine's final time widens the window (the trailing gap is attributed
-/// like any other).
+/// like any other).  Engine::run_until(limit) lands the clock on `limit`
+/// even when the queue drains early, so a windowed run's final time is the
+/// window end and the idle tail shows up here as attributed idle rather
+/// than silently truncating the makespan.
 Analysis analyze(const std::vector<trace::Event>& events,
                  std::int64_t makespan_ns = -1);
 

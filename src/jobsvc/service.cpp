@@ -80,6 +80,8 @@ std::string ServiceReport::to_text() const {
   u64line("blade_degrades", blade_degrades);
   u64line("breaker_opens", breaker_opens);
   u64line("engine_events", engine_events);
+  u64line("engine_queue_peak", engine_queue_peak);
+  u64line("engine_live_peak", engine_live_peak);
   f64line("makespan_s", makespan_s);
   f64line("throughput_jps", throughput_jps);
   f64line("p50_latency_s", p50_latency_s);
@@ -695,6 +697,8 @@ class ServiceRun {
     rep.blade_degrades = blade_degrades_;
     rep.breaker_opens = breaker_opens_;
     rep.engine_events = eng_.events_processed();
+    rep.engine_queue_peak = eng_.queue_peak();
+    rep.engine_live_peak = eng_.live_peak();
     rep.throughput_jps = rep.makespan_s > 0.0
                              ? static_cast<double>(completed_) / rep.makespan_s
                              : 0.0;
@@ -726,6 +730,10 @@ class ServiceRun {
     m->counter("jobsvc.watchdog_fires").add(rep.watchdog_fires);
     m->counter("jobsvc.blade_failures").add(rep.blade_failures);
     m->counter("jobsvc.breaker_opens").add(rep.breaker_opens);
+    m->gauge("jobsvc.engine_queue_peak")
+        .set(static_cast<double>(rep.engine_queue_peak));
+    m->gauge("jobsvc.engine_live_peak")
+        .set(static_cast<double>(rep.engine_live_peak));
     m->gauge("jobsvc.makespan_s").set(rep.makespan_s);
     m->gauge("jobsvc.throughput_jps").set(rep.throughput_jps);
     m->gauge("jobsvc.p50_latency_s").set(rep.p50_latency_s);

@@ -164,6 +164,11 @@ struct ServiceReport {
   std::uint64_t blade_degrades = 0;
   std::uint64_t breaker_opens = 0;
   std::uint64_t engine_events = 0;
+  /// Event-queue high-water marks (ISSUE 8 leak guard): resident entries
+  /// (live + cancelled corpses) and live events.  Bounded-memory invariant
+  /// under watchdog churn: queue_peak <= 2 * live_peak + 64.
+  std::uint64_t engine_queue_peak = 0;
+  std::uint64_t engine_live_peak = 0;
 
   /// Per-job *results only* (id, tenant, status, digest, value), one line
   /// per job in id order.  Byte-identical across runs that differ only in

@@ -1,0 +1,116 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "native/offload_pool.hpp"
+
+namespace cbe::sim {
+
+ShardedEngine::ShardedEngine(int shards, Time window) : window_(window) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedEngine: need at least 1 shard");
+  }
+  if (window <= Time()) {
+    throw std::invalid_argument("ShardedEngine: window must be positive");
+  }
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ShardedEngine::post(int from, int to, Time t, Engine::Callback cb) {
+  if (from < 0 || from >= shards() || to < 0 || to >= shards()) {
+    throw std::logic_error("ShardedEngine::post: shard index out of range");
+  }
+  if (t < window_end_) {
+    throw std::logic_error(
+        "ShardedEngine::post: delivery inside the current window violates "
+        "the conservative lookahead");
+  }
+  Shard& s = *shards_[static_cast<std::size_t>(from)];
+  s.outbox.push_back(Mail{t, to, s.post_seq++, std::move(cb)});
+}
+
+void ShardedEngine::deliver_mail() {
+  // Gather (source-tagged) and deliver in a host-independent total order so
+  // the destination engines' tie-break sequence numbers are deterministic.
+  struct Tagged {
+    int from;
+    Mail mail;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    for (Mail& m : s.outbox) {
+      all.push_back(Tagged{static_cast<int>(i), std::move(m)});
+    }
+    s.outbox.clear();
+    s.post_seq = 0;
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.mail.t != b.mail.t) return a.mail.t < b.mail.t;
+    if (a.from != b.from) return a.from < b.from;
+    return a.mail.seq < b.mail.seq;
+  });
+  for (Tagged& tg : all) {
+    shards_[static_cast<std::size_t>(tg.mail.to)]->engine.schedule_at(
+        tg.mail.t, std::move(tg.mail.cb));
+  }
+}
+
+Time ShardedEngine::run(native::OffloadPool* pool) {
+  return run_until(Time::max(), pool);
+}
+
+Time ShardedEngine::run_until(Time limit, native::OffloadPool* pool) {
+  const std::int64_t w = window_.nanoseconds();
+  for (;;) {
+    Time tmin = Time::max();
+    for (auto& s : shards_) {
+      tmin = std::min(tmin, s->engine.next_event_time());
+    }
+    if (tmin == Time::max() || tmin > limit) break;
+    const Time end = Time::ns((tmin.nanoseconds() / w) * w + w);
+    const Time wlimit = std::min(Time::ns(end.nanoseconds() - 1), limit);
+    window_end_ = end;
+    if (pool != nullptr && shards_.size() > 1) {
+      std::vector<std::future<void>> done;
+      done.reserve(shards_.size());
+      for (auto& s : shards_) {
+        Shard* sp = s.get();
+        done.push_back(
+            pool->offload([sp, wlimit] { sp->engine.run_until(wlimit); }));
+      }
+      // Wait for every shard before (re)throwing, so no task can outlive
+      // this object if one window throws.
+      std::exception_ptr err;
+      for (auto& f : done) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!err) err = std::current_exception();
+        }
+      }
+      if (err) std::rethrow_exception(err);
+    } else {
+      for (auto& s : shards_) s->engine.run_until(wlimit);
+    }
+    deliver_mail();
+  }
+  window_end_ = Time();
+  Time final;
+  for (auto& s : shards_) final = std::max(final, s->engine.now());
+  return final;
+}
+
+std::uint64_t ShardedEngine::events_processed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->engine.events_processed();
+  return n;
+}
+
+}  // namespace cbe::sim

@@ -1,0 +1,85 @@
+// Per-blade engine sharding with conservative time-window synchronization
+// (DESIGN.md §10): N independent Engines advance in lockstep windows
+// [k·W, (k+1)·W).  Within a window each shard only touches its own state,
+// so the shards can simulate on host threads in parallel; cross-shard
+// causality flows exclusively through post(), whose delivery time must be
+// at least one window ahead (the lookahead bound W — the classic
+// conservative-DES contract: nothing a shard does inside window k can
+// affect another shard before window k+1).
+//
+// Determinism is the point, not a side effect: shard-local execution is the
+// (deterministic) Engine, and cross-shard mail is buffered per source shard
+// and delivered at the barrier in (time, source, post-order) order, so the
+// destination engine assigns the same tie-break sequence numbers no matter
+// how the host scheduled the worker threads.  run(pool) and run(nullptr)
+// produce bit-identical simulations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace cbe::native {
+class OffloadPool;
+}
+
+namespace cbe::sim {
+
+class ShardedEngine {
+ public:
+  /// `shards` >= 1 independent engines; `window` > 0 is the sync quantum
+  /// and cross-shard lookahead.
+  ShardedEngine(int shards, Time window);
+
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+  Time window() const noexcept { return window_; }
+  Engine& shard(int i) { return shards_[static_cast<std::size_t>(i)]->engine; }
+
+  /// End (exclusive) of the window currently being simulated.  Inside a
+  /// callback this is the earliest legal post() delivery time; Time() before
+  /// the first window.
+  Time current_window_end() const noexcept { return window_end_; }
+
+  /// Cross-shard scheduling, callable only from inside shard `from`'s
+  /// callbacks while run() is executing that shard's window (each shard owns
+  /// its outbox, so no locking).  `cb` fires on shard `to` at absolute time
+  /// `t`, which must be >= current_window_end() — violating the lookahead
+  /// throws std::logic_error.
+  void post(int from, int to, Time t, Engine::Callback cb);
+
+  /// Runs every shard until global drain.  With a pool, each window's shard
+  /// work fans out over the work-stealing executor; without one the shards
+  /// run serially — the results are bit-identical either way.  Returns the
+  /// final time (max over shard clocks).
+  Time run(native::OffloadPool* pool = nullptr);
+  /// As run(), but stops once the next global event lies past `limit`; every
+  /// shard clock lands on min(limit, last window end).
+  Time run_until(Time limit, native::OffloadPool* pool = nullptr);
+
+  std::uint64_t events_processed() const noexcept;
+
+ private:
+  // Separately allocated per shard so parallel windows never false-share.
+  struct Mail {
+    Time t;
+    int to;
+    std::uint32_t seq;  ///< post order within (window, source shard)
+    Engine::Callback cb;
+  };
+  struct alignas(64) Shard {
+    Engine engine;
+    std::vector<Mail> outbox;
+    std::uint32_t post_seq = 0;
+  };
+
+  void deliver_mail();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Time window_;
+  Time window_end_;
+};
+
+}  // namespace cbe::sim

@@ -55,7 +55,7 @@ expect_usage_error("${diff}" only-one-positional.json)
 # Every flag-taking bench rejects the same classes of bad input.
 foreach(b bench_table1 bench_table2 bench_fig7 bench_fig8 bench_fig9
         bench_fig10 bench_ablation bench_cluster bench_faults
-        bench_opt_ladder bench_ckpt bench_jobs)
+        bench_opt_ladder bench_ckpt bench_jobs bench_engine)
   expect_usage_error("${BINDIR}/bench/${b}" --no-such-flag)
   expect_usage_error("${BINDIR}/bench/${b}" --seed=notanumber)
 endforeach()

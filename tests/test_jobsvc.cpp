@@ -392,6 +392,23 @@ TEST(Watchdog, StragglerBladeIsDetectedAndBrokenOut) {
     EXPECT_FALSE(events_of_kind(sink, trace::EventKind::BreakerOpen).empty());
 }
 
+TEST(Watchdog, SustainedChurnKeepsEngineQueueBounded) {
+  // Every dispatch arms a watchdog and almost every one is cancelled when
+  // the step completes first — the exact churn that leaked dead heap
+  // entries before the engine's compaction fix.  The queue high-water mark
+  // must stay proportional to live events, not to total cancels.
+  const std::vector<JobSpec> jobs = small_mix(64, 4, 64);
+  ServiceConfig cfg;
+  cfg.fleet = platform::BladeFleetConfig::uniform(4, 4);
+  cfg.step_fail_rate = 0.02;
+  cfg.fault.seed = 11;
+  cfg.fault.straggler_rate = 0.2;
+  const ServiceReport rep = run_with(cfg, jobs);
+  EXPECT_GT(rep.engine_events, 1000u);
+  EXPECT_GT(rep.engine_queue_peak, 0u);
+  EXPECT_LE(rep.engine_queue_peak, 2 * rep.engine_live_peak + 64);
+}
+
 // -- reporting & metrics -----------------------------------------------------
 
 TEST(Report, CountersAreConsistentAndMetricsExported) {

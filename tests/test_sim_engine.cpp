@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -156,6 +158,135 @@ TEST(Engine, CancelInterleavedWithExecutionStress) {
   for (std::size_t i = 0; i < ids.size(); i += 2) eng.cancel(ids[i]);
   eng.run();
   EXPECT_EQ(fired, 500);
+}
+
+TEST(Engine, ScheduleAfterOverflowThrows) {
+  Engine eng;
+  eng.schedule_at(Time::us(1.0), [] {});
+  eng.run();  // now() > 0 so now() + max() would wrap
+  EXPECT_THROW(eng.schedule_after(Time::max(), [] {}), std::overflow_error);
+  // The largest non-overflowing delay is accepted.
+  EXPECT_NO_THROW(eng.schedule_after(Time::max() - eng.now(), [] {}));
+}
+
+TEST(Engine, RunUntilAdvancesClockToWindowEnd) {
+  Engine eng;
+  eng.schedule_at(Time::us(1.0), [] {});
+  eng.run_until(Time::us(5.0));
+  // Idle tail: the caller simulated the whole window, so the clock lands on
+  // its end even though the last event fired at 1us.
+  EXPECT_EQ(eng.now(), Time::us(5.0));
+  // An empty window still advances the clock.
+  eng.run_until(Time::us(9.0));
+  EXPECT_EQ(eng.now(), Time::us(9.0));
+  // run() == drain semantics: the clock stays at the last event.
+  eng.schedule_at(Time::us(12.0), [] {});
+  eng.run();
+  EXPECT_EQ(eng.now(), Time::us(12.0));
+}
+
+TEST(Engine, RunUntilFiresBoundaryEventAtExactlyLimit) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(Time::us(5.0), [&] { ++fired; });
+  eng.schedule_at(Time::ns(5001), [&] { ++fired; });
+  eng.run_until(Time::us(5.0));
+  EXPECT_EQ(fired, 1);  // t == limit fires, t == limit + 1ns does not
+  EXPECT_EQ(eng.events_pending(), 1u);
+}
+
+TEST(Engine, ReentrantSchedulingAcrossSlotReallocation) {
+  // The callback schedules enough new events to force slots_ (and every
+  // queue vector) to reallocate while cb() is on the stack; the engine must
+  // not hold references across the call.
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(Time::us(1.0), [&] {
+    for (int i = 0; i < 4096; ++i) {
+      eng.schedule_after(Time::ns(1 + i % 7), [&] { ++fired; });
+    }
+  });
+  eng.run();
+  EXPECT_EQ(fired, 4096);
+}
+
+TEST(Engine, CancelOfFiredIdInsideLaterCallback) {
+  Engine eng;
+  EventId first;
+  bool second = false;
+  first = eng.schedule_at(Time::us(1.0), [] {});
+  eng.schedule_at(Time::us(2.0), [&] {
+    eng.cancel(first);  // already fired: must be a no-op
+    second = true;
+  });
+  eng.run();
+  EXPECT_TRUE(second);
+  EXPECT_EQ(eng.events_processed(), 2u);
+}
+
+// The leak regression (ISSUE 8): sustained schedule/cancel churn — the job
+// service's per-dispatch watchdog pattern — must not accumulate dead
+// entries.  Before the dead-entry compaction fix the queue retained one
+// corpse per cancel, growing to ~1M resident entries here.
+TEST(Engine, ChurnOnFewSlotsKeepsQueueBounded) {
+  Engine eng;
+  constexpr int kOutstanding = 64;
+  constexpr int kChurn = 1200000;
+  EventId watchdogs[kOutstanding];
+  std::uint64_t fired = 0;
+  std::int64_t t = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    const int k = i % kOutstanding;
+    eng.cancel(watchdogs[k]);  // mostly live: cancels a pending watchdog
+    watchdogs[k] = eng.schedule_at(Time::ns(t + 1000 + i % 97),
+                                   [&fired] { ++fired; });
+    if (i % 256 == 0) {
+      t += 10;
+      eng.run_until(Time::ns(t));
+    }
+    // The heap never holds more corpses than live events (plus the small
+    // compaction floor).
+    ASSERT_LE(eng.events_dead(),
+              std::max<std::size_t>(eng.events_pending(), 64));
+    ASSERT_LE(eng.queue_size(), 2 * eng.events_pending() + 64);
+  }
+  eng.run();
+  EXPECT_EQ(eng.events_pending(), 0u);
+  EXPECT_EQ(eng.events_dead(), 0u);
+  // Few slots: every cancelled slot is recycled, so the table stays small
+  // even though >1M events passed through it.
+  EXPECT_LE(eng.queue_peak(), 2u * kOutstanding + 64u);
+  EXPECT_GT(fired, 0u);
+  // Reuse-before-pop safety: the last generation of watchdogs is still
+  // individually addressable — cancelling them hits exactly those events.
+  const std::uint64_t before = fired;
+  for (auto& id : watchdogs) eng.cancel(id);
+  eng.run();
+  EXPECT_EQ(fired, before);
+}
+
+TEST(Engine, TwoRunDeterminism) {
+  // Identical schedules (including cancels and reentrant callbacks) must
+  // fire in an identical order through the banded queue.
+  const auto trace = [] {
+    Engine eng;
+    std::vector<std::uint64_t> log;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 5000; ++i) {
+      const std::int64_t t = (i * 2654435761u) % 100000;
+      ids.push_back(eng.schedule_at(Time::ns(t), [&log, &eng, i] {
+        log.push_back(static_cast<std::uint64_t>(i) * 131 +
+                      static_cast<std::uint64_t>(eng.now().nanoseconds()));
+        if (i % 17 == 0) {
+          eng.schedule_after(Time::ns(i % 23), [&log] { log.push_back(7); });
+        }
+      }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3) eng.cancel(ids[i]);
+    eng.run();
+    return log;
+  };
+  EXPECT_EQ(trace(), trace());
 }
 
 TEST(Engine, TimeNeverGoesBackwards) {

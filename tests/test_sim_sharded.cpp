@@ -1,0 +1,173 @@
+// ShardedEngine: conservative time-window synchronization over host
+// threads.  The headline property is determinism — serial and pool-parallel
+// runs of the same seeded workload must be bit-identical, across processes
+// (pinned by tests/golden/sharded_engine.txt) and across thread schedules
+// (the TSan CI leg runs this binary).
+//
+// Regenerate the golden after a *deliberate* semantic change:
+//   CBE_REGEN_GOLDEN=1 build/tests/test_sim_sharded
+#include "sim/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "native/offload_pool.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace cbe::sim {
+namespace {
+
+constexpr int kShards = 4;
+constexpr std::int64_t kWindowNs = 10000;
+
+// Seeded multi-shard workload: every shard runs a callback chain with
+// seeded jitter, folds (shard, fire-time, step) into a per-shard CRC, and
+// occasionally mails a neighbour one window ahead (the conservative
+// lookahead).  All state is shard-local; the digest depends on every fire
+// time and every cross-shard delivery order.
+struct Workload {
+  ShardedEngine eng{kShards, Time::ns(kWindowNs)};
+  struct PerShard {
+    util::Rng rng{0};
+    std::uint32_t crc = 0;
+    std::uint64_t steps = 0;
+  };
+  std::vector<PerShard> state{kShards};
+
+  void fold(int shard, std::uint64_t payload) {
+    PerShard& ps = state[static_cast<std::size_t>(shard)];
+    const std::uint64_t word[3] = {
+        static_cast<std::uint64_t>(shard),
+        static_cast<std::uint64_t>(
+            eng.shard(shard).now().nanoseconds()),
+        payload};
+    ps.crc = util::crc32(word, sizeof word, ps.crc);
+    ++ps.steps;
+  }
+
+  void step(int shard, int depth) {
+    PerShard& ps = state[static_cast<std::size_t>(shard)];
+    fold(shard, static_cast<std::uint64_t>(depth));
+    if (depth <= 0) return;
+    const std::int64_t dt =
+        1 + static_cast<std::int64_t>(ps.rng.below(700));
+    eng.shard(shard).schedule_after(Time::ns(dt), [this, shard, depth] {
+      step(shard, depth - 1);
+    });
+    if (ps.rng.below(5) == 0) {
+      // Cross-shard mail: deliver to the neighbour no earlier than the end
+      // of the window being simulated.
+      const int to = (shard + 1) % kShards;
+      const Time at = eng.current_window_end() +
+                      Time::ns(static_cast<std::int64_t>(
+                          ps.rng.below(kWindowNs)));
+      eng.post(shard, to, at,
+               [this, to, depth] { fold(to, 9000 + depth); });
+    }
+  }
+
+  void seed() {
+    for (int s = 0; s < kShards; ++s) {
+      state[static_cast<std::size_t>(s)].rng = util::Rng(1234 + s);
+      eng.shard(s).schedule_at(Time::ns(17 * (s + 1)),
+                               [this, s] { step(s, 160); });
+    }
+  }
+
+  std::string summary() {
+    std::ostringstream os;
+    os << "# sharded-engine golden v1\n";
+    os << "shards " << kShards << " window_ns " << kWindowNs << "\n";
+    for (int s = 0; s < kShards; ++s) {
+      const PerShard& ps = state[static_cast<std::size_t>(s)];
+      os << "shard " << s << " steps " << ps.steps << " crc " << ps.crc
+         << " processed " << eng.shard(s).events_processed() << " now_ns "
+         << eng.shard(s).now().nanoseconds() << "\n";
+    }
+    os << "total_processed " << eng.events_processed() << "\n";
+    return os.str();
+  }
+};
+
+std::string run_workload(native::OffloadPool* pool) {
+  Workload w;
+  w.seed();
+  w.eng.run(pool);
+  return w.summary();
+}
+
+TEST(ShardedEngine, SerialAndParallelRunsAreBitIdentical) {
+  const std::string serial = run_workload(nullptr);
+  native::OffloadPool pool(4);
+  const std::string parallel = run_workload(&pool);
+  const std::string parallel2 = run_workload(&pool);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(parallel, parallel2);
+}
+
+TEST(ShardedEngine, MatchesCommittedGolden) {
+  const std::string got = run_workload(nullptr);
+  const std::string path = std::string(CBE_GOLDEN_DIR) + "/sharded_engine.txt";
+  if (std::getenv("CBE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << got;
+    ASSERT_TRUE(out.good()) << "failed to regenerate " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " - regenerate with CBE_REGEN_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "sharded run diverged from the committed golden"
+      << " - regenerate with CBE_REGEN_GOLDEN=1 if the change is deliberate";
+}
+
+TEST(ShardedEngine, PostInsideCurrentWindowThrows) {
+  ShardedEngine eng(2, Time::us(1.0));
+  bool threw = false;
+  eng.shard(0).schedule_at(Time::ns(10), [&] {
+    try {
+      // Delivery before the current window's end violates the lookahead.
+      eng.post(0, 1, Time::ns(20), [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ShardedEngine, PostValidatesShardIndices) {
+  ShardedEngine eng(2, Time::us(1.0));
+  EXPECT_THROW(eng.post(0, 2, Time::us(5.0), [] {}), std::logic_error);
+  EXPECT_THROW(eng.post(-1, 0, Time::us(5.0), [] {}), std::logic_error);
+}
+
+TEST(ShardedEngine, RejectsDegenerateConfig) {
+  EXPECT_THROW(ShardedEngine(0, Time::us(1.0)), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(2, Time()), std::invalid_argument);
+}
+
+TEST(ShardedEngine, RunUntilStopsAtLimitAcrossShards) {
+  ShardedEngine eng(2, Time::us(1.0));
+  int fired = 0;
+  eng.shard(0).schedule_at(Time::us(0.5), [&] { ++fired; });
+  eng.shard(1).schedule_at(Time::us(30.0), [&] { ++fired; });
+  eng.run_until(Time::us(10.0));
+  EXPECT_EQ(fired, 1);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace cbe::sim
