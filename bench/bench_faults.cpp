@@ -118,6 +118,77 @@ void sweep_stragglers(const task::SyntheticConfig& scfg, int bootstraps,
   std::printf("\n");
 }
 
+// Cost of the data-integrity layer (DESIGN.md section 11), and of recovering
+// from actual silent corruption under it.  All series are virtual-time and
+// deterministic, so bench_diff gates them exactly.  The dimensionless ratio/
+// series carry the headline claims: integrity machinery disabled
+// (verify_fraction=0, no framing) is free (ratio = 1000 permille), CRC
+// framing alone stays under 3% (ratio < 1030).
+void sweep_corruption(const task::SyntheticConfig& scfg, int bootstraps,
+                      std::uint64_t seed, bench::MetricsExport& metrics,
+                      bench::BenchReport& report) {
+  util::Table table("Silent-corruption detection & recovery under MGPS (" +
+                    std::to_string(bootstraps) + " bootstraps)");
+  table.header({"configuration", "makespan", "vs clean", "injected",
+                "detected", "silent", "re-execs"});
+
+  struct Entry {
+    const char* label;
+    const char* series;  // nullptr = not reported
+    double bitflip_rate;
+    bool crc;
+    double verify;
+  };
+  const Entry kEntries[] = {
+      {"integrity off, no faults", "integrity/clean", 0.0, false, 0.0},
+      {"knobs present, all zero", "integrity/off", 0.0, false, 0.0},
+      {"CRC framing only", "integrity/crc", 0.0, true, 0.0},
+      {"CRC + verify 100%", "integrity/verify_full", 0.0, true, 1.0},
+      {"bitflip 1%, CRC + verify 25%", "corrupt/rate0.01", 0.01, true, 0.25},
+      {"bitflip 5%, CRC + verify 100%", "corrupt/rate0.05", 0.05, true, 1.0},
+  };
+
+  double clean = 0.0;
+  for (const Entry& e : kEntries) {
+    rt::RunConfig cfg;
+    cfg.fault.seed = seed;
+    cfg.fault.dma_bitflip_rate = e.bitflip_rate;
+    cfg.fault.result_corrupt_rate = e.bitflip_rate;
+    cfg.integrity.crc_framing = e.crc;
+    cfg.integrity.verify_fraction = e.verify;
+    metrics.attach(cfg);
+    rt::MgpsPolicy pol;
+    const rt::RunResult r = bench::run_bootstraps(bootstraps, pol, scfg, cfg);
+    if (clean == 0.0) clean = r.makespan_s;
+    report.add_sample(e.series, r.makespan_s);
+    table.row({e.label, util::Table::seconds(r.makespan_s),
+               util::Table::num(r.makespan_s / clean) + "x",
+               std::to_string(r.corrupt_injected),
+               std::to_string(r.corrupt_detected),
+               std::to_string(r.corrupt_silent),
+               std::to_string(r.verify_reexecs)});
+    // Overhead ratios in permille against the integrity-off run: virtual
+    // time, dimensionless, machine-portable — the CI-gated series.
+    if (e.bitflip_rate == 0.0 && std::string(e.series) != "integrity/clean") {
+      const char* tail = e.series + std::string("integrity/").size();
+      report.add_sample(std::string("ratio/") + tail,
+                        1e-9 * (1000.0 * r.makespan_s / clean));
+    }
+    // The last (heaviest) entry's counters go into the report verbatim.
+    if (&e == &kEntries[std::size(kEntries) - 1]) {
+      report.counter("dma_faults", r.dma_faults);
+      report.counter("corrupt_injected", r.corrupt_injected);
+      report.counter("corrupt_detected", r.corrupt_detected);
+      report.counter("corrupt_silent", r.corrupt_silent);
+      report.counter("verify_reexecs", r.verify_reexecs);
+      report.counter("integrity_retries", r.integrity_retries);
+      report.counter("quarantined_spes", r.quarantined_spes);
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
 void sweep_blade_failstop(const task::SyntheticConfig& scfg,
                           std::uint64_t seed,
                           bench::MetricsExport& metrics) {
@@ -164,6 +235,7 @@ int main(int argc, char** argv) {
   sweep_spe_failstop(scfg, bootstraps, seed, metrics, report);
   sweep_dma_faults(scfg, bootstraps, seed, metrics);
   sweep_stragglers(scfg, bootstraps, seed, metrics);
+  sweep_corruption(scfg, bootstraps, seed, metrics, report);
   sweep_blade_failstop(scfg, seed, metrics);
   int rc = 0;
   if (!report.write()) rc = 1;

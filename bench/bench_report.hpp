@@ -74,6 +74,14 @@ class BenchReport {
     attribution_ = at;
   }
 
+  /// Records a named integer counter (fault/integrity totals from a
+  /// representative run).  Emitted as a top-level "counters" object;
+  /// bench_diff ignores unknown top-level keys, so counters inform humans
+  /// and dashboards without participating in the regression gate.
+  void counter(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
+
   /// CRC-32 over the sorted "key=value\n" config lines: two reports compare
   /// only when they measured the same workload.
   std::uint32_t config_hash() const noexcept {
@@ -117,6 +125,16 @@ class BenchReport {
       o += "\n";
     }
     o += "]";
+    if (!counters_.empty()) {
+      o += ",\n\"counters\":{";
+      bool first_c = true;
+      for (const auto& [k, v] : counters_) {
+        if (!first_c) o += ",";
+        first_c = false;
+        o += "\"" + k + "\":" + std::to_string(v);
+      }
+      o += "}";
+    }
     if (has_attribution_) {
       const analysis::Attribution& at = attribution_;
       auto field = [](const char* k, std::int64_t v) {
@@ -159,6 +177,7 @@ class BenchReport {
   std::map<std::string, std::string> config_;  // key -> rendered JSON value
   int repetitions_ = 1;
   std::vector<Series> series_;
+  std::map<std::string, std::uint64_t> counters_;
   bool has_attribution_ = false;
   analysis::Attribution attribution_;
   bool written_ = false;

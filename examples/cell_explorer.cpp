@@ -44,7 +44,8 @@ namespace {
 constexpr const char kUsage[] =
     "cell_explorer [--bootstraps=N] [--tasks=N] [--fault-seed=S]\n"
     "    [--spe-fail-rate=P] [--dma-fail-rate=P] [--straggler=P]\n"
-    "    [--straggler-factor=F] [--trace=F] [--trace-text=F] [--metrics=F]\n"
+    "    [--straggler-factor=F] [--fault-bitflip-rate=P]\n"
+    "    [--verify-fraction=X] [--trace=F] [--trace-text=F] [--metrics=F]\n"
     "    [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
     "    [--die-at-event=N] [--taxa=N] [--sites=N] [--seed=S] [--out=F]\n"
     "    [--strict-resume]";
@@ -144,6 +145,16 @@ int main(int argc, char** argv) {
   fc.straggler_rate = cli.get_double("straggler", 0.0);
   fc.straggler_factor = cli.get_double("straggler-factor",
                                        fc.straggler_factor);
+  // One knob arms both silent-corruption channels (in-transit DMA flips and
+  // wrong-but-well-framed results); --verify-fraction arms both detectors
+  // (CRC framing plus sampled redundant execution).
+  const double bitflip_rate = cli.get_double("fault-bitflip-rate", 0.0);
+  const double verify_fraction = cli.get_double("verify-fraction", 0.0);
+  fc.dma_bitflip_rate = bitflip_rate;
+  fc.result_corrupt_rate = bitflip_rate;
+  rt::IntegrityConfig integrity;
+  integrity.verify_fraction = verify_fraction;
+  integrity.crc_framing = verify_fraction > 0.0;
   const std::string trace_json = cli.get("trace", "");
   const std::string trace_text = cli.get("trace-text", "");
   const std::string metrics_path = cli.get("metrics", "");
@@ -160,6 +171,9 @@ int main(int argc, char** argv) {
   job.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2024));
   job.bootstraps = bootstraps;
   job.fault_seed = fc.seed;
+  job.dma_bitflip_rate = bitflip_rate;
+  job.result_corrupt_rate = bitflip_rate;
+  job.verify_fraction = verify_fraction;
   const std::string out_path = cli.get("out", "");
 
   cli.enforce_usage_or_exit(kUsage);
@@ -229,11 +243,14 @@ int main(int argc, char** argv) {
       rt::MgpsPolicy m1, m2;
       struct Row { const char* label; rt::SchedulerPolicy* clean_pol;
                    rt::SchedulerPolicy* fault_pol; };
+      rt::RunResult last_faulty;
       for (const Row& p : {Row{"EDTLP", &e1, &e2}, Row{"MGPS", &m1, &m2}}) {
         const auto clean = rt::run_workload(workload, *p.clean_pol, {});
         rt::RunConfig cfg;
         cfg.fault = fc;
+        cfg.integrity = integrity;
         const auto faulty = rt::run_workload(workload, *p.fault_pol, cfg);
+        last_faulty = faulty;
         table.row({p.label, util::Table::seconds(clean.makespan_s),
                    util::Table::seconds(faulty.makespan_s),
                    util::Table::num(faulty.makespan_s / clean.makespan_s) +
@@ -247,6 +264,17 @@ int main(int argc, char** argv) {
       table.print();
       std::printf("Same seed, same faults: rerun with a different "
                   "--fault-seed to sample another fault schedule.\n");
+      if (bitflip_rate > 0.0) {
+        std::printf(
+            "integrity (MGPS run): injected %llu detected %llu silent %llu "
+            "reexec %llu retries %llu quarantined %llu\n",
+            static_cast<unsigned long long>(last_faulty.corrupt_injected),
+            static_cast<unsigned long long>(last_faulty.corrupt_detected),
+            static_cast<unsigned long long>(last_faulty.corrupt_silent),
+            static_cast<unsigned long long>(last_faulty.verify_reexecs),
+            static_cast<unsigned long long>(last_faulty.integrity_retries),
+            static_cast<unsigned long long>(last_faulty.quarantined_spes));
+      }
     }
 
     if (!trace_json.empty() || !trace_text.empty() || !metrics_path.empty()) {
@@ -262,6 +290,7 @@ int main(int argc, char** argv) {
       }
       rt::RunConfig cfg;
       cfg.fault = fc;
+      cfg.integrity = integrity;
       trace::TraceSink sink;
       trace::MetricsRegistry registry;
       cfg.trace = &sink;

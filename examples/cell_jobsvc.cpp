@@ -52,6 +52,15 @@ faults:
   --straggler-rate=P   per-blade degrade probability (default 0)
   --step-fail-rate=P   per-step transient failure probability (default 0)
 
+integrity (DESIGN.md section 11):
+  --fault-bitflip-rate=P  per-step silent result-corruption probability
+                       (default 0); undetected poison flows into results
+  --verify-fraction=X  fraction of steps re-executed redundantly to catch
+                       corruption (default 0); jobs that keep failing
+                       verification are reported "corrupt", never clean
+  --quarantine-threshold=N  detected corruptions before a blade is
+                       permanently quarantined, 0 disables (default 3)
+
 output:
   --results[=FILE]     print (or write) the fault-invariant per-job results
                        block; a blade-kill run's FILE diffs empty against a
@@ -92,6 +101,10 @@ int main(int argc, char** argv) {
   cfg.fault.blade_fail_rate = cli.get_double("blade-fail-rate", 0.0);
   cfg.fault.straggler_rate = cli.get_double("straggler-rate", 0.0);
   cfg.step_fail_rate = cli.get_double("step-fail-rate", 0.0);
+  cfg.step_corrupt_rate = cli.get_double("fault-bitflip-rate", 0.0);
+  cfg.verify_fraction = cli.get_double("verify-fraction", 0.0);
+  cfg.quarantine_threshold =
+      static_cast<int>(cli.get_int("quarantine-threshold", 3));
 
   jobsvc::JobMixConfig mix;
   mix.jobs = static_cast<int>(cli.get_int("jobs", 64));

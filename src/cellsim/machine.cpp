@@ -58,14 +58,22 @@ int CellMachine::failed_spes() const noexcept {
 
 void CellMachine::install_faults(const sim::FaultPlan& plan) {
   fault_plan_ = &plan;
+  forced_flips_.assign(static_cast<std::size_t>(num_spes()), 0);
   for (const auto& ev : plan.events()) {
     if (ev.node < 0 || ev.node >= num_spes()) continue;
     const sim::Time at = ev.at < eng_.now() ? eng_.now() : ev.at;
     fault_events_.push_back(eng_.schedule_at(at, [this, ev] {
-      if (ev.kind == sim::FaultKind::FailStop) {
-        fail_spe(ev.node);
-      } else {
-        degrade_spe(ev.node, ev.factor);
+      switch (ev.kind) {
+        case sim::FaultKind::FailStop:
+          fail_spe(ev.node);
+          break;
+        case sim::FaultKind::Degrade:
+          degrade_spe(ev.node, ev.factor);
+          break;
+        case sim::FaultKind::BitFlip:
+          // Arms the node: its next verified transfer corrupts.
+          ++forced_flips_[static_cast<std::size_t>(ev.node)];
+          break;
       }
     }));
   }
@@ -93,6 +101,16 @@ void CellMachine::degrade_spe(int spe_id, double factor) {
                   spe_id, -1, std::llround(factor * 1e6), 0);
   s.degrade(factor);
   ++fault_stats_.stragglers;
+}
+
+void CellMachine::quarantine_spe(int spe_id, int strikes, int threshold) {
+  Spe& s = spe(spe_id);
+  if (!s.usable()) return;
+  CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::Quarantine,
+                  spe_id, -1, strikes, threshold);
+  s.fail(eng_.now());
+  ++fault_stats_.quarantined;
+  notify_fault_observers(spe_id);
 }
 
 int CellMachine::add_fault_observer(FaultObserver obs) {
@@ -173,6 +191,42 @@ void CellMachine::dma_checked(int spe_id, double bytes, int chunks,
                     std::llround(bytes), 0);
   }
   start_dma(spe_id, bytes, chunks, ok, std::move(done));
+}
+
+void CellMachine::dma_verified(int spe_id, double bytes, int chunks,
+                               VerifiedDmaFn done) {
+  bool ok = true;
+  bool corrupt = false;
+  if (bytes > 0.0 && fault_plan_ != nullptr) {
+    // Same transient stream as dma_checked — see the header contract.
+    if (fault_plan_->dma_fails(dma_seq_++)) {
+      ok = false;
+      ++fault_stats_.dma_faults;
+      CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::DmaFault,
+                      spe_id, static_cast<std::int32_t>(dma_seq_ - 1),
+                      std::llround(bytes), 0);
+    }
+    const std::uint64_t vix = verified_seq_++;
+    const auto sid = static_cast<std::size_t>(spe_id);
+    if (sid < forced_flips_.size() && forced_flips_[sid] > 0) {
+      --forced_flips_[sid];
+      corrupt = true;
+    } else if (fault_plan_->dma_corrupts(vix)) {
+      corrupt = true;
+    }
+    // A transport-reported failure is retried anyway; the silent channel
+    // only matters on transfers that claim success.
+    if (corrupt && ok) {
+      ++fault_stats_.dma_corruptions;
+      CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::DmaCorrupt,
+                      spe_id, static_cast<std::int32_t>(vix),
+                      std::llround(bytes), 0);
+    } else {
+      corrupt = false;
+    }
+  }
+  start_dma(spe_id, bytes, chunks, ok,
+            [corrupt, cb = std::move(done)](bool ok2) { cb(ok2, corrupt); });
 }
 
 void CellMachine::start_dma(int spe_id, double bytes, int chunks, bool ok,

@@ -23,12 +23,17 @@ struct FaultStats {
   std::uint64_t spe_failures = 0;  ///< fail-stop events applied
   std::uint64_t stragglers = 0;    ///< derating events applied
   std::uint64_t dma_faults = 0;    ///< transient DMA failures injected
+  std::uint64_t dma_corruptions = 0;  ///< silent payload bit-flips injected
+  std::uint64_t quarantined = 0;   ///< SPEs removed by integrity quarantine
 };
 
 class CellMachine {
  public:
   using Fn = std::function<void()>;
   using DmaFn = std::function<void(bool ok)>;
+  /// `ok` is the transport's verdict; `corrupt` reports a silent payload
+  /// bit-flip the transport did NOT see (only an end-to-end check can).
+  using VerifiedDmaFn = std::function<void(bool ok, bool corrupt)>;
   using FaultObserver = std::function<void(int spe)>;
 
   CellMachine(sim::Engine& eng, CellParams params,
@@ -65,6 +70,11 @@ class CellMachine {
   void fail_spe(int spe);
   /// Applies straggler derating now.
   void degrade_spe(int spe, double factor);
+  /// Integrity quarantine: permanently removes an SPE whose results keep
+  /// failing end-to-end checks.  Mechanically a fail-stop (observers fire,
+  /// `failed_spes` grows, MGPS adapts) but traced and counted separately so
+  /// the health story is visible in profiles.
+  void quarantine_spe(int spe, int strikes = 0, int threshold = 0);
   /// Observers fire on every SPE fail-stop (loop executor uses this for
   /// chunk reassignment; the runtime driver for wait-queue rescue).
   int add_fault_observer(FaultObserver obs);
@@ -90,6 +100,15 @@ class CellMachine {
   /// full transfer time was still spent and the caller decides whether to
   /// retry.  Without a plan this behaves exactly like dma().
   void dma_checked(int spe, double bytes, int chunks, DmaFn done);
+
+  /// dma_checked plus the silent-corruption channel: the transfer can
+  /// complete "successfully" (`ok == true`) with a poisoned payload
+  /// (`corrupt == true`).  The transient draw shares dma_checked's sequence
+  /// so swapping callers between the two paths never perturbs the transient
+  /// fault replay; corruption draws use their own independent stream.
+  /// Scripted BitFlip events force the next verified transfer on that SPE
+  /// to corrupt regardless of rate.
+  void dma_verified(int spe, double bytes, int chunks, VerifiedDmaFn done);
 
   /// One-way PPE<->SPE mailbox signal delay (t_comm in the granularity
   /// test of Section 5.2).
@@ -127,7 +146,9 @@ class CellMachine {
 
   const sim::FaultPlan* fault_plan_ = nullptr;
   std::vector<sim::EventId> fault_events_;
+  std::vector<int> forced_flips_;  ///< scripted BitFlip arms, per SPE
   std::uint64_t dma_seq_ = 0;
+  std::uint64_t verified_seq_ = 0;  ///< corruption-oracle stream position
   std::uint64_t dma_id_ = 0;  ///< trace pairing id for issue/retire events
   double dma_bytes_ = 0.0;
   FaultStats fault_stats_;

@@ -28,6 +28,9 @@ std::vector<std::uint8_t> encode_job(const BootstrapJob& j) {
   w.i32(j.search.max_nni_rounds);
   w.f64(j.search.min_improvement);
   w.u64(j.fault_seed);
+  w.f64(j.dma_bitflip_rate);
+  w.f64(j.result_corrupt_rate);
+  w.f64(j.verify_fraction);
   return w.take();
 }
 
@@ -45,12 +48,20 @@ BootstrapJob decode_job(const Section& s) {
   j.search.max_nni_rounds = r.i32();
   j.search.min_improvement = r.f64();
   j.fault_seed = r.u64();
+  j.dma_bitflip_rate = r.f64();
+  j.result_corrupt_rate = r.f64();
+  j.verify_fraction = r.f64();
   r.expect_end();
   if (j.taxa < 3 || j.taxa > static_cast<int>(kMaxTaxa)) {
     r.fail("taxon count " + std::to_string(j.taxa) + " out of range");
   }
   if (j.sites <= 0 || j.bootstraps <= 0) {
     r.fail("non-positive site or bootstrap count");
+  }
+  auto bad01 = [](double v) { return !(v >= 0.0) || !(v <= 1.0); };
+  if (bad01(j.dma_bitflip_rate) || bad01(j.result_corrupt_rate) ||
+      bad01(j.verify_fraction)) {
+    r.fail("integrity rate outside [0, 1]");
   }
   return j;
 }

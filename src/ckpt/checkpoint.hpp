@@ -32,6 +32,14 @@ struct BootstrapJob {
   int bootstraps = 8;         ///< total replicates to run
   phylo::SearchConfig search;
   std::uint64_t fault_seed = 0;  ///< namespace for the die-at-event fault
+
+  // Data-integrity replay knobs (DESIGN.md §11): each replicate's Cell
+  // replay runs under this seeded silent-corruption plan.  Stored in the
+  // checkpoint because a resumed run must replay the exact same corruption
+  // weather a continuous run would have seen.
+  double dma_bitflip_rate = 0.0;
+  double result_corrupt_rate = 0.0;
+  double verify_fraction = 0.0;  ///< > 0 also turns on CRC framing
 };
 
 /// Additive scheduler/runtime accumulators from replaying each replicate's

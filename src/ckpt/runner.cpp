@@ -15,6 +15,10 @@ namespace {
 // Independent stream for the reference ML search, domain-separated from the
 // replicate master stream so neither perturbs the other.
 constexpr std::uint64_t kReferenceSalt = 0x5245464552454e43ull;  // "REFERENC"
+// Per-replicate corruption-plan namespace: salted by the absolute replicate
+// index, so the corruption weather a replicate's Cell replay sees is a pure
+// function of (job, index) — identical whether or not the run was resumed.
+constexpr std::uint64_t kIntegritySalt = 0x494e544547524954ull;  // "INTEGRIT"
 
 std::string fmt_f64(double v) {
   // %.17g round-trips every double, so text comparison is bit comparison.
@@ -97,7 +101,18 @@ RunReport run_job(RunState& st, const RunnerOptions& opt) {
     task::Workload wl;
     wl.bootstraps.push_back(gen.take_trace());
     rt::MgpsPolicy mgps;
-    const rt::RunResult rr = rt::run_workload(wl, mgps, {});
+    rt::RunConfig rcfg;
+    if (job.dma_bitflip_rate > 0.0 || job.result_corrupt_rate > 0.0 ||
+        job.verify_fraction > 0.0) {
+      std::uint64_t stream =
+          job.fault_seed ^ (kIntegritySalt + static_cast<std::uint64_t>(i));
+      rcfg.fault.seed = util::splitmix64(stream);
+      rcfg.fault.dma_bitflip_rate = job.dma_bitflip_rate;
+      rcfg.fault.result_corrupt_rate = job.result_corrupt_rate;
+      rcfg.integrity.verify_fraction = job.verify_fraction;
+      rcfg.integrity.crc_framing = job.verify_fraction > 0.0;
+    }
+    const rt::RunResult rr = rt::run_workload(wl, mgps, rcfg);
     st.sched.offloads += rr.offloads;
     st.sched.loop_splits += rr.loop_splits;
     st.sched.ppe_fallbacks += rr.ppe_fallbacks;

@@ -22,6 +22,8 @@ namespace {
 // with the blade fault plan's own draws.
 constexpr std::uint64_t kStepFailSalt = 0x535445504641494cull;  // "STEPFAIL"
 constexpr std::uint64_t kBackoffSalt = 0x4241434b4f4a4954ull;   // "BACKOJIT"
+constexpr std::uint64_t kStepCorrSalt = 0x53544550434f5252ull;  // "STEPCORR"
+constexpr std::uint64_t kStepVerSalt = 0x5354455056455249ull;   // "STEPVERI"
 
 std::string fmt_f64(double v) {
   // %.17g round-trips every double, so text comparison is bit comparison.
@@ -39,6 +41,7 @@ const char* job_status_name(JobStatus s) noexcept {
     case JobStatus::Shed: return "shed";
     case JobStatus::DeadlineExceeded: return "deadline-exceeded";
     case JobStatus::Failed: return "failed";
+    case JobStatus::Corrupt: return "corrupt";
   }
   return "unknown";
 }
@@ -79,6 +82,11 @@ std::string ServiceReport::to_text() const {
   u64line("blade_failures", blade_failures);
   u64line("blade_degrades", blade_degrades);
   u64line("breaker_opens", breaker_opens);
+  u64line("corrupt_injected", corrupt_injected);
+  u64line("corrupt_detected", corrupt_detected);
+  u64line("corrupt_jobs", corrupt_jobs);
+  u64line("verify_reexecs", verify_reexecs);
+  u64line("quarantined_blades", quarantined_blades);
   u64line("engine_events", engine_events);
   u64line("engine_queue_peak", engine_queue_peak);
   u64line("engine_live_peak", engine_live_peak);
@@ -153,6 +161,12 @@ class ServiceRun {
     int restores = 0;
     int blade = -1;
     int last_blade = -1;
+    /// The live (resp. snapshotted) digest has been silently poisoned by an
+    /// undetected step corruption.  Bookkeeping only — the service never
+    /// reads these to decide anything (that would be cheating detection);
+    /// they exist so snapshots and restores carry poison state faithfully.
+    bool live_corrupted = false;
+    bool snap_corrupted = false;
     sim::EventId step_ev, watchdog_ev, deadline_ev;
     double first_start_s = -1.0;
     double finish_s = -1.0;
@@ -169,6 +183,8 @@ class ServiceRun {
     int consecutive_failures = 0;
     BreakerState breaker = BreakerState::Closed;
     sim::Time open_until;
+    int corruption_strikes = 0;  ///< detected corruptions attributed here
+    bool quarantined = false;    ///< permanently removed for corruption
     std::uint64_t dispatches = 0;
     std::vector<std::size_t> running_jobs;
   };
@@ -209,6 +225,30 @@ class ServiceRun {
            cfg_.step_fail_rate;
   }
 
+  /// Silent-corruption oracle, keyed like step_fails but on its own salt so
+  /// the two fault streams stay independent.
+  bool step_corrupts(const Rec& rec) const {
+    if (cfg_.step_corrupt_rate <= 0.0) return false;
+    std::uint64_t seed = cfg_.fault.seed ^ (kStepCorrSalt + rec.spec.id);
+    const std::uint64_t salt =
+        (static_cast<std::uint64_t>(rec.attempts) << 24) ^
+        static_cast<std::uint64_t>(rec.live.steps_done);
+    return sim::fault_hash01(util::splitmix64(seed), salt) <
+           cfg_.step_corrupt_rate;
+  }
+
+  /// Deterministic sample of steps that get a redundant verification
+  /// execution.  Pure function of (seed, job, attempt, step), so a run's
+  /// verify schedule replays bit-identically.
+  bool step_verified(const Rec& rec) const {
+    const std::uint64_t salt =
+        (static_cast<std::uint64_t>(rec.attempts) << 24) ^
+        static_cast<std::uint64_t>(rec.live.steps_done);
+    std::uint64_t seed = cfg_.fault.seed ^ (kStepVerSalt + rec.spec.id);
+    return sim::verify_sampled(util::splitmix64(seed), salt,
+                               cfg_.verify_fraction);
+  }
+
   /// Exponential backoff with deterministic per-(job, failure) jitter.
   double backoff_s(const Rec& rec) const {
     const RetryPolicy& p = cfg_.retry;
@@ -233,6 +273,9 @@ class ServiceRun {
     if (!rec.snapshot.empty()) {
       try {
         rec.live = restore_job(rec.spec, rec.snapshot);
+        // The restore faithfully resurrects whatever the snapshot held —
+        // including a silently poisoned digest, if one was snapshotted.
+        rec.live_corrupted = rec.snap_corrupted;
         ++rec.restores;
         ++snapshot_restores_;
         return;
@@ -240,9 +283,11 @@ class ServiceRun {
         // A corrupt snapshot must never poison the result: fall through to
         // a cold start, which recomputes the same bits the long way.
         rec.snapshot.clear();
+        rec.snap_corrupted = false;
       }
     }
     rec.live = make_initial_state(rec.spec, cfg_.seed);
+    rec.live_corrupted = false;
   }
 
   // -- fault plan ------------------------------------------------------------
@@ -457,17 +502,52 @@ class ServiceRun {
       fail_execution(j, FailReason::StepFault);
       return;
     }
+    // Oracles drawn on the step about to execute (pre-increment index).
+    const bool corrupted_now = step_corrupts(rec);
+    const bool verified_now = step_verified(rec);
     run_step(rec.live);
+    if (corrupted_now) {
+      // The step "succeeded" but its contribution to the digest is wrong.
+      rec.live.digest = sim::corrupt_bits(
+          rec.live.digest, cfg_.fault.seed,
+          rec.spec.id * 1000003ull +
+              static_cast<std::uint64_t>(rec.live.steps_done));
+      rec.live_corrupted = true;
+      ++corrupt_injected_;
+      CBE_TRACE_EVENT(now_ns(), trace::EventKind::ResultCorrupt, rec.blade,
+                      jid(rec), 1, rec.live.steps_done);
+    }
+    sim::Time extra;
+    if (verified_now) {
+      // Redundant execution of the step just run: same input state, so it
+      // exposes a corruption injected *now* (an earlier undetected poison is
+      // part of the input and reproduces identically — verification has to
+      // catch corruption at the step where it happens, or not at all).
+      ++verify_reexecs_;
+      extra += step_time(b, rec.spec);
+      if (corrupted_now) {
+        ++corrupt_detected_;
+        CBE_TRACE_EVENT(now_ns(), trace::EventKind::ResultCorrupt, rec.blade,
+                        jid(rec), 2, rec.live.steps_done);
+        const int blade_idx = rec.blade;
+        fail_execution(j, FailReason::Corruption);
+        note_corruption(blade_idx);
+        return;
+      }
+    }
+    // Completion and snapshots happen strictly after verification: with
+    // verify_fraction=1 a poisoned step can never reach a snapshot or a
+    // Completed result.
     if (rec.live.steps_done == rec.spec.steps) {
       complete(j);
       return;
     }
-    sim::Time extra;
     if (cfg_.checkpoint_every > 0 &&
         rec.live.steps_done % cfg_.checkpoint_every == 0) {
       rec.snapshot = snapshot_job(rec.spec, rec.live);
+      rec.snap_corrupted = rec.live_corrupted;
       ++snapshots_;
-      extra = sim::Time::sec(cfg_.checkpoint_cost_s);
+      extra += sim::Time::sec(cfg_.checkpoint_cost_s);
       CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobCheckpoint, rec.blade,
                       jid(rec), rec.live.steps_done,
                       static_cast<std::int64_t>(rec.snapshot.size()));
@@ -517,8 +597,15 @@ class ServiceRun {
     ++rec.failures;
     recover_state(rec);
     if (rec.failures >= cfg_.retry.max_failures) {
-      ++failed_;
-      finish(rec, JobStatus::Failed, /*tenant_admitted=*/true);
+      if (why == FailReason::Corruption) {
+        // Fail closed: the budget ran out on integrity failures, so the
+        // service never confirmed a clean result and must not report one.
+        ++corrupt_jobs_;
+        finish(rec, JobStatus::Corrupt, /*tenant_admitted=*/true);
+      } else {
+        ++failed_;
+        finish(rec, JobStatus::Failed, /*tenant_admitted=*/true);
+      }
       try_dispatch();
       return;
     }
@@ -558,6 +645,44 @@ class ServiceRun {
     // Wake the queue when the cooloff elapses so the half-open probe runs
     // even if no other event lands after it.
     eng_.schedule_at(b.open_until, [this] { try_dispatch(); });
+  }
+
+  /// Strike bookkeeping for a *detected* corruption attributed to `blade`.
+  /// At the threshold the blade is quarantined for good: unlike a breaker
+  /// cooloff, corruption is evidence of bad hardware, so there is no
+  /// half-open probe back.  In-flight jobs migrate off it (no retry
+  /// penalty — the blade is suspect, not the jobs).
+  void note_corruption(int blade_idx) {
+    Blade& b = blades_[static_cast<std::size_t>(blade_idx)];
+    ++b.corruption_strikes;
+    if (cfg_.quarantine_threshold <= 0 || b.quarantined || !b.alive ||
+        b.corruption_strikes < cfg_.quarantine_threshold) {
+      return;
+    }
+    b.quarantined = true;
+    b.alive = false;
+    ++quarantined_blades_;
+    CBE_TRACE_EVENT(now_ns(), trace::EventKind::Quarantine, blade_idx, -1,
+                    b.corruption_strikes, cfg_.quarantine_threshold);
+    std::vector<std::size_t> victims = std::move(b.running_jobs);
+    b.running_jobs.clear();
+    b.running = 0;
+    for (std::size_t j : victims) {
+      Rec& rec = recs_[j];
+      eng_.cancel(rec.step_ev);
+      eng_.cancel(rec.watchdog_ev);
+      rec.step_ev = rec.watchdog_ev = sim::EventId{};
+      --tenant_running_[rec.spec.tenant];
+      rec.blade = -1;
+      ++rec.migrations;
+      ++migrations_;
+      recover_state(rec);
+      CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobMigrate, -1, jid(rec),
+                      blade_idx, rec.live.steps_done);
+      rec.state = RecState::Queued;
+      queue_.push_back(j);
+    }
+    try_dispatch();
   }
 
   // -- blade faults ----------------------------------------------------------
@@ -696,6 +821,11 @@ class ServiceRun {
     rep.blade_failures = blade_failures_;
     rep.blade_degrades = blade_degrades_;
     rep.breaker_opens = breaker_opens_;
+    rep.corrupt_injected = corrupt_injected_;
+    rep.corrupt_detected = corrupt_detected_;
+    rep.corrupt_jobs = corrupt_jobs_;
+    rep.verify_reexecs = verify_reexecs_;
+    rep.quarantined_blades = quarantined_blades_;
     rep.engine_events = eng_.events_processed();
     rep.engine_queue_peak = eng_.queue_peak();
     rep.engine_live_peak = eng_.live_peak();
@@ -730,6 +860,11 @@ class ServiceRun {
     m->counter("jobsvc.watchdog_fires").add(rep.watchdog_fires);
     m->counter("jobsvc.blade_failures").add(rep.blade_failures);
     m->counter("jobsvc.breaker_opens").add(rep.breaker_opens);
+    m->counter("jobsvc.integrity.injected").add(rep.corrupt_injected);
+    m->counter("jobsvc.integrity.detected").add(rep.corrupt_detected);
+    m->counter("jobsvc.integrity.reexec").add(rep.verify_reexecs);
+    m->counter("jobsvc.integrity.corrupt_jobs").add(rep.corrupt_jobs);
+    m->counter("jobsvc.integrity.quarantined").add(rep.quarantined_blades);
     m->gauge("jobsvc.engine_queue_peak")
         .set(static_cast<double>(rep.engine_queue_peak));
     m->gauge("jobsvc.engine_live_peak")
@@ -762,7 +897,9 @@ class ServiceRun {
                 deadline_exceeded_ = 0, failed_ = 0, retries_ = 0,
                 migrations_ = 0, snapshots_ = 0, snapshot_restores_ = 0,
                 watchdog_fires_ = 0, blade_failures_ = 0, blade_degrades_ = 0,
-                breaker_opens_ = 0;
+                breaker_opens_ = 0, corrupt_injected_ = 0,
+                corrupt_detected_ = 0, corrupt_jobs_ = 0, verify_reexecs_ = 0,
+                quarantined_blades_ = 0;
 };
 
 }  // namespace

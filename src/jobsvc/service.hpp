@@ -94,6 +94,21 @@ struct ServiceConfig {
   /// (deterministic oracle seeded from `fault.seed`).
   double step_fail_rate = 0.0;
 
+  // -- Data integrity (DESIGN.md §11) --------------------------------------
+  /// Per-(job, attempt, step) *silent* corruption probability: the step
+  /// completes normally but poisons the job's result digest.  Undetected
+  /// corruption flows into snapshots and Completed results — which is why
+  /// verification exists.
+  double step_corrupt_rate = 0.0;
+  /// Fraction of steps re-executed redundantly and compared (deterministic
+  /// sample).  A mismatch is a retryable failure with the Corruption cause;
+  /// a job that exhausts its retry budget on corruption is reported
+  /// JobStatus::Corrupt — failed closed, never returned as clean.
+  double verify_fraction = 0.0;
+  /// Detected corruptions attributed to one blade before it is permanently
+  /// quarantined (in-flight jobs migrate off it).  0 disables quarantine.
+  int quarantine_threshold = 3;
+
   /// Blade-level fault injection: `fault.blade_fail_rate` draws fail-stop
   /// blades, `fault.straggler_rate`/`straggler_factor` draw Degrade events,
   /// over `fault.horizon` (0 = derived from the workload).  `fault.seed`
@@ -112,12 +127,17 @@ enum class JobStatus : std::uint8_t {
   Shed,              ///< admitted, later evicted for higher-priority work
   DeadlineExceeded,  ///< missed its completion deadline
   Failed,            ///< exhausted the retry budget, or starved of blades
+  Corrupt,           ///< exhausted the budget on integrity failures: the
+                     ///< service could never confirm a clean result and
+                     ///< fails closed rather than returning a wrong one
 };
 
 const char* job_status_name(JobStatus s) noexcept;
 
 /// Why an execution failed (JobFail trace payload `b`).
-enum class FailReason : std::uint8_t { StepFault, Watchdog, Starved };
+enum class FailReason : std::uint8_t {
+  StepFault, Watchdog, Starved, Corruption,
+};
 /// Why admission refused a job (JobReject trace payload `b`).
 enum class RejectReason : std::uint8_t { QueueFull, QuotaExceeded };
 
@@ -163,6 +183,11 @@ struct ServiceReport {
   std::uint64_t blade_failures = 0;
   std::uint64_t blade_degrades = 0;
   std::uint64_t breaker_opens = 0;
+  std::uint64_t corrupt_injected = 0;   ///< silent step corruptions injected
+  std::uint64_t corrupt_detected = 0;   ///< caught by sampled re-execution
+  std::uint64_t corrupt_jobs = 0;       ///< jobs that failed closed (Corrupt)
+  std::uint64_t verify_reexecs = 0;     ///< redundant step executions run
+  std::uint64_t quarantined_blades = 0; ///< blades removed for corruption
   std::uint64_t engine_events = 0;
   /// Event-queue high-water marks (ISSUE 8 leak guard): resident entries
   /// (live + cancelled corpses) and live events.  Bounded-memory invariant

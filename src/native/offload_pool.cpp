@@ -4,6 +4,7 @@
 
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/rng.hpp"
 
 namespace cbe::native {
 
@@ -156,6 +157,57 @@ std::future<void> OffloadPool::offload_with_retry(
         if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
         backoff *= 2;
       }
+    }
+  });
+  return fut;
+}
+
+void OffloadPool::set_verify_fraction(double fraction,
+                                      std::uint64_t seed) noexcept {
+  verify_fraction_.store(fraction, std::memory_order_relaxed);
+  verify_seed_.store(seed, std::memory_order_relaxed);
+}
+
+std::future<std::uint64_t> OffloadPool::offload_checked(
+    std::function<std::uint64_t()> task, int max_retries) {
+  auto prom = std::make_shared<std::promise<std::uint64_t>>();
+  std::future<std::uint64_t> fut = prom->get_future();
+  // The sample is drawn at submission so the verify schedule depends only on
+  // (seed, submission index), not on which worker runs the task or when.
+  const std::uint64_t ix = checked_seq_.fetch_add(1, std::memory_order_relaxed);
+  const double fraction = verify_fraction_.load(std::memory_order_relaxed);
+  bool sampled = fraction >= 1.0;
+  if (!sampled && fraction > 0.0) {
+    std::uint64_t state = verify_seed_.load(std::memory_order_relaxed) ^
+                          (ix * 0x9e3779b97f4a7c15ull + 1);
+    sampled = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53 <
+              fraction;
+  }
+  enqueue([this, prom, task = std::move(task), sampled, max_retries] {
+    try {
+      for (int attempt = 0;; ++attempt) {
+        const std::uint64_t r = task();
+        if (!sampled) {
+          prom->set_value(r);
+          return;
+        }
+        verified_reexecs_.fetch_add(1, std::memory_order_relaxed);
+        if (task() == r) {
+          prom->set_value(r);
+          return;
+        }
+        integrity_mismatches_.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= max_retries) {
+          // Fail closed: agreement was never reached, so no checksum is
+          // trustworthy enough to hand back.
+          prom->set_exception(std::make_exception_ptr(IntegrityError(
+              "offload_checked: redundant executions kept disagreeing")));
+          return;
+        }
+        retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      prom->set_exception(std::current_exception());
     }
   });
   return fut;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -44,6 +45,14 @@ class MetricsRegistry;
 namespace cbe::native {
 
 class OffloadPool;
+
+/// Thrown (through the returned future) when a checked off-load keeps
+/// failing its redundant-execution comparison: the pool fails *closed*
+/// rather than handing back a result it could not confirm.
+class IntegrityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Cooperative cancellation handle for deadline off-loads.  The task owns
 /// the computation but must publish results through try_commit(); once the
@@ -123,6 +132,23 @@ class OffloadPool {
       std::chrono::microseconds base_backoff =
           std::chrono::microseconds(100));
 
+  /// Off-loads a computation whose declared result is a 64-bit checksum
+  /// (e.g. a CRC of the real output).  A deterministic sample of checked
+  /// off-loads — `fraction` set by set_verify_fraction(), drawn by
+  /// submission index — is executed twice and the checksums compared; a
+  /// mismatch re-runs the task (up to `max_retries` extra attempts, each
+  /// verified) and, if agreement is never reached, the future carries an
+  /// IntegrityError instead of a value.  A confirmed-or-nothing contract:
+  /// the caller can never observe an unverified mismatch as a clean result.
+  std::future<std::uint64_t> offload_checked(
+      std::function<std::uint64_t()> task, int max_retries = 2);
+
+  /// Sets the redundant-execution sampling fraction for offload_checked
+  /// (0 = never verify, 1 = verify everything).  The sample is a pure
+  /// function of (seed, submission index), so a run's verify schedule is
+  /// reproducible.
+  void set_verify_fraction(double fraction, std::uint64_t seed = 0) noexcept;
+
   /// Off-loads `task` under a wall-clock deadline.  If it has not finished
   /// by then, the miss is counted and `on_timeout` (if any) fires once on
   /// the watchdog thread.  The task itself runs to completion regardless —
@@ -175,6 +201,14 @@ class OffloadPool {
   std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);
   }
+  /// Redundant executions run by offload_checked's sampled verification.
+  std::uint64_t verified_reexecs() const noexcept {
+    return verified_reexecs_.load(std::memory_order_relaxed);
+  }
+  /// Checksum disagreements the verification caught.
+  std::uint64_t integrity_mismatches() const noexcept {
+    return integrity_mismatches_.load(std::memory_order_relaxed);
+  }
 
   /// Streams per-task dispatch/complete events into `sink` (timestamps are
   /// steady-clock ns since pool construction; spe=worker index).  Each
@@ -221,6 +255,13 @@ class OffloadPool {
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> steals_{0};
+
+  // Sampled redundant execution (offload_checked).
+  std::atomic<double> verify_fraction_{0.0};
+  std::atomic<std::uint64_t> verify_seed_{0};
+  std::atomic<std::uint64_t> checked_seq_{0};
+  std::atomic<std::uint64_t> verified_reexecs_{0};
+  std::atomic<std::uint64_t> integrity_mismatches_{0};
 
   // Observability (see set_trace / set_metrics).
   const std::chrono::steady_clock::time_point epoch_ =

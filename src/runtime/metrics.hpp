@@ -33,10 +33,28 @@ struct RunResult {
   /// fault PPE fallback, or blade redistribution in run_cluster).
   std::uint64_t recovered_bootstraps = 0;
 
+  // Data-integrity counters (DESIGN.md §11; zero when no corruption is
+  // injected and no detection is enabled).
+  std::uint64_t corrupt_injected = 0;  ///< silent corruptions injected
+                                       ///< (DMA bit-flips + result flips)
+  std::uint64_t corrupt_detected = 0;  ///< caught by CRC framing or re-exec
+  std::uint64_t corrupt_silent = 0;    ///< committed into a final digest
+                                       ///< undetected (zero iff fail-safe)
+  std::uint64_t verify_reexecs = 0;    ///< sampled redundant executions run
+  std::uint64_t integrity_retries = 0; ///< DMA retries caused by CRC checks
+  std::uint64_t quarantined_spes = 0;  ///< SPEs removed for repeated corruption
+
   /// Completion time (seconds) of each bootstrap, in workload order.  A zero
   /// entry means the bootstrap did not complete (only possible when a blade
   /// run was truncated by run_cluster's fail-stop model before aggregation).
   std::vector<double> bootstrap_completion_s;
+
+  /// End-to-end result digest of each bootstrap, in workload order: a CRC32
+  /// chain over the (pure-function) result hash of every task the bootstrap
+  /// committed, in program order.  Schedule-independent on a clean run, so
+  /// equal digests across configurations mean equal results — the basis of
+  /// the "never silently wrong" acceptance property.
+  std::vector<std::uint32_t> bootstrap_digests;
 };
 
 }  // namespace cbe::rt

@@ -13,11 +13,24 @@
 #include "sim/engine.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace cbe::rt {
 
 namespace {
+
+/// The declared result of a task, as a pure function of its identity.  Both
+/// a correct SPE execution and the PPE fallback "compute" this value, so the
+/// per-bootstrap digest chain is schedule-independent on a clean run and any
+/// divergence is injected corruption that escaped detection.
+std::uint64_t task_result_hash(int bootstrap, std::size_t pc) noexcept {
+  std::uint64_t s = static_cast<std::uint64_t>(bootstrap) *
+                        0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(pc) + 1;
+  return util::splitmix64(s);
+}
 
 class Driver {
  public:
@@ -44,6 +57,8 @@ class Driver {
   struct Attempt {
     bool closed = false;        ///< outstanding_tasks_ released / decremented
     bool loop_started = false;  ///< loop_exec_.run was invoked
+    bool dma_poison = false;    ///< silent payload corruption went unframed
+    bool res_poison = false;    ///< result corruption injected this attempt
     int master = -1;
     std::vector<int> workers;   ///< reserved loop participants
   };
@@ -124,6 +139,16 @@ class Driver {
     recovered_.at(static_cast<std::size_t>(bootstrap)) = 1;
   }
 
+  // -- Data integrity (DESIGN.md §11) --------------------------------------
+  /// Attributes a detected corruption to `spe`; trips quarantine at the
+  /// configured threshold (which tears down the SPE's live attempt through
+  /// the fault-observer path).
+  void note_strike(int spe);
+  /// Folds the task's (possibly poisoned) result hash into the bootstrap's
+  /// digest chain.  Called exactly once per committed task, in program
+  /// order.
+  void commit_result(int pid, bool poisoned);
+
   const task::Workload& wl_;
   SchedulerPolicy& policy_;
   RunConfig cfg_;
@@ -146,6 +171,9 @@ class Driver {
   sim::FaultPlan fault_plan_;
   bool faults_on_ = false;
   std::vector<char> recovered_;  ///< per-bootstrap: completion needed recovery
+  std::vector<std::uint32_t> digests_;  ///< per-bootstrap result digest chain
+  std::vector<int> strikes_;     ///< per-SPE detected-corruption count
+  std::uint64_t task_seq_ = 0;   ///< result-corruption oracle stream position
   trace::Histogram* latency_hist_ = nullptr;
 
   void finalize_metrics();
@@ -159,6 +187,8 @@ RunResult Driver::run() {
   if (b == 0) return res_;
   res_.bootstrap_completion_s.assign(static_cast<std::size_t>(b), 0.0);
   recovered_.assign(static_cast<std::size_t>(b), 0);
+  digests_.assign(static_cast<std::size_t>(b), 0u);
+  strikes_.assign(static_cast<std::size_t>(machine_.num_spes()), 0);
   for (int i = 0; i < b; ++i) bootstrap_queue_.push_back(i);
   setup_faults();
 
@@ -202,6 +232,9 @@ RunResult Driver::run() {
   res_.dma_retries += loop_exec_.dma_retries();
   res_.loop_reassignments = loop_exec_.reassigned_chunks();
   res_.dma_bytes = machine_.total_dma_bytes();
+  res_.corrupt_injected += fs.dma_corruptions;
+  res_.quarantined_spes = fs.quarantined;
+  res_.bootstrap_digests = digests_;
   for (char r : recovered_) res_.recovered_bootstraps += (r != 0);
   finalize_metrics();
   return res_;
@@ -229,6 +262,12 @@ void Driver::finalize_metrics() {
   m->counter("fault.timeouts").add(res_.timeouts);
   m->counter("fault.reoffloads").add(res_.reoffloads);
   m->counter("fault.ppe_fallbacks").add(res_.fault_ppe_fallbacks);
+  m->counter("integrity.injected").add(res_.corrupt_injected);
+  m->counter("integrity.detected").add(res_.corrupt_detected);
+  m->counter("integrity.silent").add(res_.corrupt_silent);
+  m->counter("integrity.reexec").add(res_.verify_reexecs);
+  m->counter("integrity.retries").add(res_.integrity_retries);
+  m->counter("integrity.quarantined").add(res_.quarantined_spes);
   for (int s = 0; s < machine_.num_spes(); ++s) {
     m->gauge("spe." + std::to_string(s) + ".utilization")
         .set(machine_.spe(s).utilization(eng_.now()));
@@ -491,23 +530,65 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
     });
   };
 
+  // Integrity stage between compute and the output transfer: the seeded
+  // oracle may flip the declared result, and the sampled redundant-execution
+  // check re-runs the task and compares — the only detector that can see a
+  // wrong-but-well-framed result (DESIGN.md §11).
+  auto post_compute = [this, pid, master, tp, att, attempt_id,
+                       after_compute] {
+    if (!faults_on_ && !cfg_.integrity.enabled()) {
+      after_compute();
+      return;
+    }
+    const std::uint64_t tix = task_seq_++;
+    if (faults_on_ && fault_plan_.result_corrupts(tix)) {
+      ++res_.corrupt_injected;
+      CBE_TRACE_EVENT(eng_.now().nanoseconds(),
+                      trace::EventKind::ResultCorrupt, master, pid, 1,
+                      static_cast<std::int64_t>(tix));
+      if (att) att->res_poison = true;
+    }
+    if (!sim::verify_sampled(cfg_.fault.seed, tix,
+                             cfg_.integrity.verify_fraction)) {
+      after_compute();
+      return;
+    }
+    ++res_.verify_reexecs;
+    machine_.spe_compute(
+        master, tp->spe_cycles_total(),
+        [this, pid, master, att, attempt_id, after_compute] {
+          if (att && att->res_poison && !att->closed) {
+            ++res_.corrupt_detected;
+            CBE_TRACE_EVENT(eng_.now().nanoseconds(),
+                            trace::EventKind::ResultCorrupt, master, pid, 2,
+                            0);
+            note_strike(master);
+            // Quarantine (inside note_strike) may already have torn the
+            // attempt down and re-issued the task via the observer path.
+            abandon_attempt(pid, attempt_id, att);
+            return;
+          }
+          after_compute();
+        });
+  };
+
   machine_.signal(master, [this, master, tp, variant, chunks_in, d, pid,
-                           workers = std::move(workers), after_compute,
+                           workers = std::move(workers), post_compute,
                            kind, att, attempt_id]() mutable {
     machine_.ensure_module(master, tp->module_id, variant,
                            [this, master, tp, chunks_in, d, pid,
-                            workers = std::move(workers), after_compute,
+                            workers = std::move(workers), post_compute,
                             kind, att, attempt_id]() mutable {
       task_dma(pid, attempt_id, att, master, tp->dma_in_bytes, chunks_in, 0,
                [this, master, tp, d, workers = std::move(workers),
-                after_compute, kind, att]() mutable {
+                post_compute, kind, att]() mutable {
         if (d == 1) {
           machine_.spe_compute(master, tp->spe_cycles_total(),
-                               after_compute);
+                               post_compute);
         } else {
           if (att) att->loop_started = true;
           loop_exec_.run(master, std::move(workers), *tp, balancers_[kind],
-                         after_compute);
+                         post_compute);
         }
       });
     });
@@ -519,6 +600,7 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
 
 void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  bool poisoned = false;
   if (faults_on_) {
     if (attempt_id != p.attempt) {
       // Superseded attempt finishing late (straggler): the chain already
@@ -527,8 +609,10 @@ void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
       return;
     }
     eng_.cancel(p.watchdog);
+    poisoned = p.att && (p.att->dma_poison || p.att->res_poison);
     p.att.reset();
   }
+  commit_result(pid, poisoned);
   CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::TaskComplete,
                   p.last_spe, pid, p.bootstrap, 0);
 #if CBE_TRACE_ENABLED
@@ -546,6 +630,8 @@ void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
 void Driver::after_ppe_task(int pid) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
   policy_.on_departure(view(), pid);
+  // The PPE runs in trusted main memory: its result is always correct.
+  commit_result(pid, /*poisoned=*/false);
   p.pc += 1;
   // The process already holds its context; continue directly (with a
   // quantum check for pinned spin policies).
@@ -600,10 +686,46 @@ void Driver::task_dma(int pid, std::uint64_t attempt_id,
                       const std::shared_ptr<Attempt>& att, int spe,
                       double bytes, int chunks, int tries,
                       std::function<void()> done) {
-  machine_.dma_checked(spe, bytes, chunks,
-                       [this, pid, attempt_id, att, spe, bytes, chunks, tries,
-                        done = std::move(done)](bool ok) mutable {
+  // dma_verified shares dma_checked's transient stream, so fault replay is
+  // unchanged; it additionally reports the silent-corruption channel.
+  machine_.dma_verified(spe, bytes, chunks,
+                        [this, pid, attempt_id, att, spe, bytes, chunks,
+                         tries, done = std::move(done)](bool ok,
+                                                        bool corrupt) mutable {
+    if (ok && corrupt) {
+      if (cfg_.integrity.crc_framing) {
+        // The consumer's end-to-end CRC check rejects the poisoned payload;
+        // the transfer is retried like a transport failure, but attributed
+        // to the Corruption cause (counters + quarantine strikes).
+        ++res_.corrupt_detected;
+        note_strike(spe);
+        if (att && att->closed) {
+          // Quarantine tore the attempt down and re-issued the task.
+          serve_wait_queue();
+          return;
+        }
+        if (tries < cfg_.loop.max_dma_retries) {
+          ++res_.integrity_retries;
+          task_dma(pid, attempt_id, att, spe, bytes, chunks, tries + 1,
+                   std::move(done));
+          return;
+        }
+        abandon_attempt(pid, attempt_id, att);
+        return;
+      }
+      // Without framing the bit-flip sails through and poisons whatever
+      // this attempt commits.
+      if (att) att->dma_poison = true;
+    }
     if (ok) {
+      if (cfg_.integrity.crc_framing && bytes > 0.0) {
+        // Modeled cost of computing/verifying the frame CRC at the consumer.
+        eng_.schedule_after(
+            sim::cycles_to_time(bytes * cfg_.integrity.crc_cycles_per_byte,
+                                clock()),
+            std::move(done));
+        return;
+      }
       done();
       return;
     }
@@ -616,6 +738,31 @@ void Driver::task_dma(int pid, std::uint64_t attempt_id,
     // Transfer permanently lost: tear the attempt down and recover.
     abandon_attempt(pid, attempt_id, att);
   });
+}
+
+void Driver::note_strike(int spe) {
+  const int threshold = cfg_.integrity.quarantine_threshold;
+  if (threshold <= 0) return;
+  const auto ix = static_cast<std::size_t>(spe);
+  if (ix >= strikes_.size()) return;
+  if (++strikes_[ix] < threshold) return;
+  if (machine_.spe(spe).usable()) {
+    machine_.quarantine_spe(spe, strikes_[ix], threshold);
+  }
+}
+
+void Driver::commit_result(int pid, bool poisoned) {
+  Proc& p = procs_[static_cast<std::size_t>(pid)];
+  std::uint64_t h = task_result_hash(p.bootstrap, p.pc);
+  if (poisoned) {
+    // Deterministic poison so corrupting runs replay bit-identically.
+    h = sim::corrupt_bits(h, cfg_.fault.seed,
+                          (static_cast<std::uint64_t>(p.bootstrap) << 20) ^
+                              static_cast<std::uint64_t>(p.pc));
+    ++res_.corrupt_silent;
+  }
+  std::uint32_t& dg = digests_[static_cast<std::size_t>(p.bootstrap)];
+  dg = util::crc32(&h, sizeof h, dg);
 }
 
 void Driver::abandon_attempt(int pid, std::uint64_t attempt_id,
@@ -787,6 +934,7 @@ RunResult run_cluster(const task::Workload& wl,
 
   RunResult total;
   total.bootstrap_completion_s.assign(wl.bootstraps.size(), 0.0);
+  total.bootstrap_digests.assign(wl.bootstraps.size(), 0u);
   int runs = 0;
   auto accumulate = [&total, &runs](const RunResult& r) {
     ++runs;
@@ -810,6 +958,12 @@ RunResult run_cluster(const task::Workload& wl,
     total.wasted_cycles += r.wasted_cycles;
     total.dma_bytes += r.dma_bytes;
     total.recovered_bootstraps += r.recovered_bootstraps;
+    total.corrupt_injected += r.corrupt_injected;
+    total.corrupt_detected += r.corrupt_detected;
+    total.corrupt_silent += r.corrupt_silent;
+    total.verify_reexecs += r.verify_reexecs;
+    total.integrity_retries += r.integrity_retries;
+    total.quarantined_spes += r.quarantined_spes;
   };
 
   // Per-blade seed salting keeps blades' fault draws independent while the
@@ -862,6 +1016,7 @@ RunResult run_cluster(const task::Workload& wl,
       for (std::size_t j = 0; j < shards[b].orig.size(); ++j) {
         total.bootstrap_completion_s[shards[b].orig[j]] =
             r.bootstrap_completion_s[j];
+        total.bootstrap_digests[shards[b].orig[j]] = r.bootstrap_digests[j];
       }
       continue;
     }
@@ -873,6 +1028,7 @@ RunResult run_cluster(const task::Workload& wl,
       const double c = r.bootstrap_completion_s[j];
       if (c > 0.0 && c <= t_b) {
         total.bootstrap_completion_s[shards[b].orig[j]] = c;
+        total.bootstrap_digests[shards[b].orig[j]] = r.bootstrap_digests[j];
       } else {
         leftovers.push_back(shards[b].orig[j]);
       }
@@ -899,6 +1055,7 @@ RunResult run_cluster(const task::Workload& wl,
       for (std::size_t j = 0; j < extra[k].orig.size(); ++j) {
         total.bootstrap_completion_s[extra[k].orig[j]] =
             phase1_end + r.bootstrap_completion_s[j];
+        total.bootstrap_digests[extra[k].orig[j]] = r.bootstrap_digests[j];
       }
     }
     total.makespan_s = phase1_end + phase2;

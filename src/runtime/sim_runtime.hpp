@@ -24,6 +24,31 @@ class MetricsRegistry;
 
 namespace cbe::rt {
 
+/// End-to-end data-integrity controls (DESIGN.md §11).  Detection is
+/// end-to-end by construction: the producer frames payloads/results with a
+/// CRC and the *consumer* verifies — the transport is never trusted.
+struct IntegrityConfig {
+  /// CRC-frame task DMA payloads; silently corrupted transfers are detected
+  /// at the receiving end and retried.  Costs `crc_cycles_per_byte` of
+  /// modeled compute per framed byte (the < 3% overhead the bench gates).
+  bool crc_framing = false;
+  /// Fraction of task results re-executed redundantly and compared; catches
+  /// wrong-but-well-framed results CRC framing cannot see.  The sample is a
+  /// deterministic function of (fault.seed, task index).
+  double verify_fraction = 0.0;
+  /// Detected corruptions attributed to one SPE before it is quarantined
+  /// (permanently removed from the pool).  Zero disables quarantine.
+  int quarantine_threshold = 3;
+  /// Modeled CRC cost, cycles per framed payload byte.  0.15 models a
+  /// table-driven slicing CRC32 on the SPU (branch-free, quadword loads);
+  /// a naive bytewise loop would be ~1 cycle/byte, hardware assist ~0.05.
+  double crc_cycles_per_byte = 0.15;
+
+  bool enabled() const noexcept {
+    return crc_framing || verify_fraction > 0.0;
+  }
+};
+
 struct RunConfig {
   cell::CellParams cell;
   LoopParams loop;
@@ -59,6 +84,14 @@ struct RunConfig {
   /// Re-offload attempts after a watchdog timeout before the task is
   /// executed on the PPE (always-correct fallback).
   int max_task_retries = 2;
+
+  // -- Data integrity (see DESIGN.md §11) ----------------------------------
+  /// Detection and recovery for the silent-corruption channels enabled by
+  /// `fault.dma_bitflip_rate` / `fault.result_corrupt_rate`.  With detection
+  /// off, injected corruption propagates into `RunResult::bootstrap_digests`
+  /// — exactly the failure mode the integrity tests prove impossible once
+  /// `crc_framing` + `verify_fraction = 1` are on.
+  IntegrityConfig integrity;
 
   // -- Observability (see DESIGN.md "Observability") -----------------------
   /// Structured event sink installed for the duration of the run.  The

@@ -19,6 +19,9 @@ namespace {
 constexpr std::uint64_t kFailSalt = 0x46414c4c53544f50ull;   // "FAILSTOP"
 constexpr std::uint64_t kStragSalt = 0x5354524147474c45ull;  // "STRAGGLE"
 constexpr std::uint64_t kDmaSalt = 0x444d414641554c54ull;    // "DMAFAULT"
+constexpr std::uint64_t kFlipSalt = 0x444d41424954464cull;   // "DMABITFL"
+constexpr std::uint64_t kResSalt = 0x524553434f525250ull;    // "RESCORRP"
+constexpr std::uint64_t kVerifySalt = 0x5645524946594558ull; // "VERIFYEX"
 
 Time event_time(double u, Time horizon) {
   // Faults land mid-run: uniformly inside (0.1, 0.9) of the horizon so a
@@ -109,6 +112,33 @@ bool FaultPlan::dma_fails(std::uint64_t transfer_index) const noexcept {
   if (cfg_.dma_fail_rate <= 0.0) return false;
   return fault_hash01(cfg_.seed, kDmaSalt + transfer_index) <
          cfg_.dma_fail_rate;
+}
+
+bool FaultPlan::dma_corrupts(std::uint64_t transfer_index) const noexcept {
+  if (cfg_.dma_bitflip_rate <= 0.0) return false;
+  return fault_hash01(cfg_.seed, kFlipSalt + transfer_index) <
+         cfg_.dma_bitflip_rate;
+}
+
+bool FaultPlan::result_corrupts(std::uint64_t task_index) const noexcept {
+  if (cfg_.result_corrupt_rate <= 0.0) return false;
+  return fault_hash01(cfg_.seed, kResSalt + task_index) <
+         cfg_.result_corrupt_rate;
+}
+
+std::uint64_t corrupt_bits(std::uint64_t value, std::uint64_t seed,
+                           std::uint64_t index) noexcept {
+  std::uint64_t state = seed ^ (kFlipSalt * 31 + index);
+  std::uint64_t mask = util::splitmix64(state);
+  if (mask == 0) mask = 1;  // a flip must flip something
+  return value ^ mask;
+}
+
+bool verify_sampled(std::uint64_t seed, std::uint64_t index,
+                    double fraction) noexcept {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  return fault_hash01(seed, kVerifySalt + index) < fraction;
 }
 
 }  // namespace cbe::sim

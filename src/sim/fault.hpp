@@ -22,6 +22,7 @@ namespace cbe::sim {
 enum class FaultKind : std::uint8_t {
   FailStop,  ///< node halts permanently; in-flight work on it is lost
   Degrade,   ///< node's clock silently drops to `factor` of nominal
+  BitFlip,   ///< node silently corrupts payloads/results from `at` onward
 };
 
 struct FaultEvent {
@@ -46,6 +47,13 @@ struct FaultConfig {
   Time horizon;
   /// Probability that a whole blade fail-stops (run_cluster only).
   double blade_fail_rate = 0.0;
+  /// Per-transfer probability that a verified DMA completes "successfully"
+  /// with a silently corrupted payload (caught only by end-to-end CRC
+  /// framing, never by the transport).
+  double dma_bitflip_rate = 0.0;
+  /// Per-task probability that an SPE computes a wrong-but-well-framed
+  /// result (caught only by sampled redundant execution).
+  double result_corrupt_rate = 0.0;
   /// Process-level kill switch for kill-and-resume tests: the run dies (via
   /// SIGKILL, so no destructors or atexit handlers soften the crash) when
   /// the crash clock reaches this many events.  Zero disables it.  Armed by
@@ -56,7 +64,8 @@ struct FaultConfig {
 
   bool enabled() const noexcept {
     return spe_fail_rate > 0.0 || dma_fail_rate > 0.0 ||
-           straggler_rate > 0.0 || blade_fail_rate > 0.0;
+           straggler_rate > 0.0 || blade_fail_rate > 0.0 ||
+           dma_bitflip_rate > 0.0 || result_corrupt_rate > 0.0;
   }
 };
 
@@ -80,8 +89,18 @@ class FaultPlan {
   /// order elsewhere in the simulation.
   bool dma_fails(std::uint64_t transfer_index) const noexcept;
 
+  /// Stateless oracle: is the `transfer_index`-th *verified* DMA silently
+  /// corrupted in transit?  Independent stream from dma_fails so transient
+  /// and silent faults compose without perturbing each other's draws.
+  bool dma_corrupts(std::uint64_t transfer_index) const noexcept;
+
+  /// Stateless oracle: does the `task_index`-th SPE task compute a
+  /// wrong-but-well-framed result?
+  bool result_corrupts(std::uint64_t task_index) const noexcept;
+
   bool empty() const noexcept {
-    return events_.empty() && cfg_.dma_fail_rate <= 0.0;
+    return events_.empty() && cfg_.dma_fail_rate <= 0.0 &&
+           cfg_.dma_bitflip_rate <= 0.0 && cfg_.result_corrupt_rate <= 0.0;
   }
 
  private:
@@ -92,6 +111,19 @@ class FaultPlan {
 /// Deterministic uniform [0,1) draw from a (seed, salt) pair; shared by the
 /// plan builder and run_cluster's blade fail-stop decisions.
 double fault_hash01(std::uint64_t seed, std::uint64_t salt) noexcept;
+
+/// Deterministic bit-flip perturbation of a 64-bit value: returns `value`
+/// with at least one bit flipped, as a pure function of (seed, index).  Used
+/// by both corruption channels so an injected flip is bit-identical on
+/// replay.
+std::uint64_t corrupt_bits(std::uint64_t value, std::uint64_t seed,
+                           std::uint64_t index) noexcept;
+
+/// Deterministic redundant-execution sampler: is item `index` inside the
+/// verify window for this (seed, fraction)?  fraction >= 1 samples
+/// everything, <= 0 nothing; the same (seed, index) always answers the same.
+bool verify_sampled(std::uint64_t seed, std::uint64_t index,
+                    double fraction) noexcept;
 
 // -- Process-level crash clock (kill-and-resume testing) ---------------------
 //

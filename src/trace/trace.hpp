@@ -69,6 +69,11 @@ enum class EventKind : std::uint8_t {
   BladeFail,      ///< spe=blade, a=jobs in flight, b=1 fail-stop / 0 degrade
   BreakerOpen,    ///< spe=blade, a=consecutive failures, b=cooloff ns
   BreakerClose,   ///< spe=blade (half-open probe succeeded)
+  // -- Data-integrity events (ISSUE 9) -------------------------------------
+  DmaCorrupt,     ///< spe, pid=oracle index, a=bytes (payload flip injected)
+  ResultCorrupt,  ///< spe, pid, a=injected (1) or detected-by-reexec (2),
+                  ///< b=oracle index
+  Quarantine,     ///< spe (or blade), a=corruptions detected, b=threshold
   kCount
 };
 
@@ -113,6 +118,9 @@ constexpr const char* event_name(EventKind k) noexcept {
     case EventKind::BladeFail: return "blade_fail";
     case EventKind::BreakerOpen: return "breaker_open";
     case EventKind::BreakerClose: return "breaker_close";
+    case EventKind::DmaCorrupt: return "dma_corrupt";
+    case EventKind::ResultCorrupt: return "result_corrupt";
+    case EventKind::Quarantine: return "quarantine";
     case EventKind::kCount: break;
   }
   return "unknown";

@@ -33,6 +33,8 @@ expect_usage_error("${explorer}" --bootstrap=4)      # typo of --bootstraps
 expect_usage_error("${explorer}" --bootstraps=many)
 expect_usage_error("${explorer}" --seed)
 expect_usage_error("${explorer}" --checkpoint-every=1.5x)
+expect_usage_error("${explorer}" --fault-bitflip-rate=lots)
+expect_usage_error("${explorer}" --verify-fraction=half)
 
 # The profiler adds a value-validated enum flag on top of the usual classes.
 set(profiler "${BINDIR}/examples/cell_profiler")
@@ -45,6 +47,14 @@ set(jobsvc "${BINDIR}/examples/cell_jobsvc")
 expect_usage_error("${jobsvc}" --no-such-flag)
 expect_usage_error("${jobsvc}" --jobs=many)
 expect_usage_error("${jobsvc}" --blade-fail-rate=high)
+expect_usage_error("${jobsvc}" --fault-bitflip-rate=lots)
+expect_usage_error("${jobsvc}" --verify-fraction=half)
+
+# The fault-script minimizer is under the same contract.
+set(shrink "${BINDIR}/tools/fault_shrink")
+expect_usage_error("${shrink}" --no-such-flag)
+expect_usage_error("${shrink}" --min=notanumber --script=x.txt)
+expect_usage_error("${shrink}" --verify-fraction=half --script=x.txt)
 
 # The regression gate is itself under the same contract.
 set(diff "${BINDIR}/tools/bench_diff")

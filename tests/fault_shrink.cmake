@@ -1,0 +1,59 @@
+# fault_shrink end-to-end: an 8-event script whose "interesting" behaviour
+# (a fail-stopped SPE) hinges on exactly one event must shrink to that one
+# event.  The seven mild degrade events are noise the minimizer has to
+# discard; the single failstop is the essential core.
+#
+# Invoked with -DSHRINK=<fault_shrink binary> -DWORKDIR=<scratch dir>.
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+file(WRITE ${WORKDIR}/script.txt
+"# 8 events, 1 essential
+0.00010 degrade 0 0.95
+0.00012 degrade 1 0.95
+0.00014 degrade 3 0.95
+0.00016 failstop 2 1
+0.00018 degrade 4 0.95
+0.00020 degrade 5 0.95
+0.00022 degrade 6 0.95
+0.00024 degrade 7 0.95
+")
+
+execute_process(
+  COMMAND ${SHRINK} --script=${WORKDIR}/script.txt
+          --out=${WORKDIR}/min.txt --predicate=spe-failures --min=1
+          --bootstraps=1 --tasks=40
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fault_shrink exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+file(STRINGS ${WORKDIR}/min.txt lines)
+list(LENGTH lines n)
+if(NOT n EQUAL 1)
+  message(FATAL_ERROR "expected exactly 1 surviving event, got ${n}:\n${lines}")
+endif()
+list(GET lines 0 survivor)
+if(NOT survivor MATCHES "failstop 2")
+  message(FATAL_ERROR "the surviving event is not the essential failstop: ${survivor}")
+endif()
+
+# Determinism: a second run over the same inputs must produce the same
+# minimized script byte-for-byte.
+execute_process(
+  COMMAND ${SHRINK} --script=${WORKDIR}/script.txt
+          --out=${WORKDIR}/min2.txt --predicate=spe-failures --min=1
+          --bootstraps=1 --tasks=40
+  RESULT_VARIABLE rc2 OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "second fault_shrink run exited ${rc2}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/min.txt ${WORKDIR}/min2.txt
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "fault_shrink is not deterministic: min.txt != min2.txt")
+endif()

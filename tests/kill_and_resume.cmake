@@ -118,4 +118,56 @@ if(NOT same EQUAL 0)
   message(FATAL_ERROR "cold-start fallback report differs from baseline")
 endif()
 
+# --- 5. checkpoint x corruption: resume under an active bit-flip plan ------
+# The integrity knobs live in the checkpoint, so a run killed mid-job under
+# a seeded corruption plan (with recovery enabled) must resume into the SAME
+# corruption weather and finish byte-identical to the uninterrupted
+# corrupting run.
+set(CHAOS ${JOB} --fault-bitflip-rate=0.05 --verify-fraction=1)
+
+run_explorer(rc out err ${CHAOS} --checkpoint=chaos_base.ckpt
+  --out=chaos_base.txt)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corrupting baseline run failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+run_explorer(rc out err
+  ${CHAOS} --checkpoint=chaos_kr.ckpt --die-at-event=5)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "[chaos] run with --die-at-event=5 was supposed to be "
+          "killed but exited cleanly:\n${out}")
+endif()
+if(NOT EXISTS "${WORKDIR}/chaos_kr.ckpt")
+  message(FATAL_ERROR "[chaos] no checkpoint survived the kill")
+endif()
+
+run_explorer(rc out err
+  ${CHAOS} --checkpoint=chaos_kr.ckpt --resume=chaos_kr.ckpt
+  --strict-resume --out=chaos_resumed.txt)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[chaos] resume failed (rc=${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORKDIR}/chaos_base.txt" "${WORKDIR}/chaos_resumed.txt"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "[chaos] resumed corrupting run differs from the "
+          "uninterrupted corrupting run (bit-identity violated)")
+endif()
+
+# With full verification the corrupting run's phylo results equal the
+# fault-free baseline's: corruption may cost time, never answers.  Compare
+# everything above the scheduler-counter block (sched lines may differ
+# because recovery does extra work).
+file(READ "${WORKDIR}/base.txt" clean_report)
+file(READ "${WORKDIR}/chaos_base.txt" chaos_report)
+string(REGEX REPLACE "sched [^\n]*\n" "" clean_results "${clean_report}")
+string(REGEX REPLACE "sched [^\n]*\n" "" chaos_results "${chaos_report}")
+if(NOT clean_results STREQUAL chaos_results)
+  message(FATAL_ERROR "corrupting run's results diverged from fault-free "
+          "baseline despite full verification:\n--- clean ---\n"
+          "${clean_results}\n--- chaos ---\n${chaos_results}")
+endif()
+
 message(STATUS "kill-and-resume: all cases bit-identical to baseline")

@@ -426,6 +426,88 @@ TEST(CkptRetry, RunnerStrictModeRethrows) {
   test_hooks::fail_next_atomic_writes(0);
 }
 
+// -- data integrity x checkpointing (DESIGN.md section 11) -------------------
+
+TEST(CkptIntegrity, KnobsRoundTripBitExact) {
+  BootstrapJob job = tiny_job();
+  job.dma_bitflip_rate = 0.125;
+  job.result_corrupt_rate = 0.0625;
+  job.verify_fraction = 0.5;
+  const RunState st = make_fresh(job);
+  const RunState back = from_image(to_image(st));
+  EXPECT_EQ(back.job.dma_bitflip_rate, job.dma_bitflip_rate);
+  EXPECT_EQ(back.job.result_corrupt_rate, job.result_corrupt_rate);
+  EXPECT_EQ(back.job.verify_fraction, job.verify_fraction);
+  EXPECT_EQ(to_image(back).serialize(), to_image(st).serialize());
+}
+
+TEST(CkptIntegrity, OutOfRangeRateIsRejected) {
+  BootstrapJob job = tiny_job();
+  job.dma_bitflip_rate = 1.5;  // not a probability
+  const std::vector<std::uint8_t> bytes =
+      to_image(make_fresh(job)).serialize();
+  try {
+    (void)from_image(CheckpointImage::parse(bytes));
+    FAIL() << "a rate outside [0, 1] should not validate";
+  } catch (const CkptError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Malformed);
+  }
+}
+
+// Resume under an active corruption plan: the knobs live in the checkpoint,
+// so a resumed run replays the same per-replicate corruption weather and
+// finishes byte-identical to the uninterrupted corrupting run.
+TEST(CkptIntegrity, ResumeUnderCorruptionPlanIsBitIdentical) {
+  BootstrapJob job = tiny_job();
+  job.dma_bitflip_rate = 0.05;
+  job.result_corrupt_rate = 0.05;
+  job.verify_fraction = 1.0;
+  job.fault_seed = 99;
+
+  RunState uninterrupted = make_fresh(job);
+  const std::string expect = run_job(uninterrupted, {}).to_text();
+
+  for (int k = 1; k < job.bootstraps; ++k) {
+    RunState prefix = make_fresh(job);
+    prefix.job.bootstraps = k;
+    run_job(prefix, {});
+    prefix.job.bootstraps = job.bootstraps;
+    RunState resumed = from_image(to_image(prefix));
+    EXPECT_EQ(run_job(resumed, {}).to_text(), expect) << "prefix " << k;
+  }
+}
+
+// With full verification, corruption may cost recovery time but never
+// answers: the phylo results (everything except the sched counters) match
+// the fault-free run exactly.
+TEST(CkptIntegrity, VerifiedCorruptingRunMatchesFaultFreeResults) {
+  auto strip_sched = [](std::string text) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size() - 1;
+      const std::string line = text.substr(pos, eol - pos + 1);
+      if (line.rfind("sched ", 0) != 0) out += line;
+      pos = eol + 1;
+    }
+    return out;
+  };
+
+  RunState clean = make_fresh(tiny_job());
+  const std::string clean_text = run_job(clean, {}).to_text();
+
+  BootstrapJob job = tiny_job();
+  job.dma_bitflip_rate = 0.05;
+  job.result_corrupt_rate = 0.05;
+  job.verify_fraction = 1.0;
+  job.fault_seed = 99;
+  RunState chaos = make_fresh(job);
+  const std::string chaos_text = run_job(chaos, {}).to_text();
+
+  EXPECT_EQ(strip_sched(clean_text), strip_sched(chaos_text));
+}
+
 TEST(CkptRetry, RunnerCountsRetriesThatSucceeded) {
   RetryHooksGuard guard;
   const std::string path = temp_path("retry_counted.ckpt");

@@ -1,0 +1,212 @@
+// fault_shrink: greedy delta-debugging (ddmin) minimizer for fault scripts.
+//
+// Given a fault script that makes a deterministic run "interesting" (some
+// failure counter crosses a threshold), find a 1-minimal sub-script that
+// still does: removing any single remaining event loses the property.  The
+// simulator's determinism is what makes this sound — re-running a candidate
+// sub-script is an exact experiment, not a statistical one.
+//
+// Script format: one event per line, "<at_seconds> <kind> <node> [factor]"
+// with kind in {failstop, degrade, bitflip}; blank lines and '#' comments
+// are ignored.  The minimized script is printed to stdout (and --out=FILE).
+//
+//   fault_shrink --script=FILE [--out=FILE] [--bootstraps=N] [--tasks=N]
+//       [--fault-seed=S] [--predicate=P] [--min=N] [--verify-fraction=X]
+//
+// Predicates (value compared >= --min, default 1):
+//   spe-failures       RunResult.spe_failures   (fail-stop took effect)
+//   reoffloads         RunResult.reoffloads     (recovery re-dispatches)
+//   corrupt-detected   RunResult.corrupt_detected (integrity layer fired;
+//                      implies --verify-fraction=1 unless set explicitly)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/mgps.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "task/synthetic.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "fault_shrink --script=FILE [--out=FILE] [--bootstraps=N] [--tasks=N]\n"
+    "    [--fault-seed=S] [--predicate=spe-failures|reoffloads|\n"
+    "    corrupt-detected] [--min=N] [--verify-fraction=X]";
+
+using cbe::sim::FaultEvent;
+using cbe::sim::FaultKind;
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::FailStop: return "failstop";
+    case FaultKind::Degrade: return "degrade";
+    case FaultKind::BitFlip: return "bitflip";
+  }
+  return "unknown";
+}
+
+bool parse_script(std::istream& in, std::vector<FaultEvent>& out,
+                  std::string& error) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double at_s = 0.0;
+    std::string kind;
+    int node = 0;
+    if (!(ls >> at_s)) continue;  // blank / comment-only line
+    FaultEvent ev;
+    if (!(ls >> kind >> node)) {
+      error = "line " + std::to_string(lineno) + ": expected '<at_s> <kind> "
+              "<node> [factor]'";
+      return false;
+    }
+    if (kind == "failstop") {
+      ev.kind = FaultKind::FailStop;
+    } else if (kind == "degrade") {
+      ev.kind = FaultKind::Degrade;
+    } else if (kind == "bitflip") {
+      ev.kind = FaultKind::BitFlip;
+    } else {
+      error = "line " + std::to_string(lineno) + ": unknown kind '" + kind +
+              "' (failstop|degrade|bitflip)";
+      return false;
+    }
+    ev.at = cbe::sim::Time::sec(at_s);
+    ev.node = node;
+    ls >> ev.factor;  // optional; FaultEvent's default stands otherwise
+    out.push_back(ev);
+  }
+  return true;
+}
+
+std::string format_script(const std::vector<FaultEvent>& events) {
+  std::string out;
+  char buf[96];
+  for (const FaultEvent& ev : events) {
+    std::snprintf(buf, sizeof buf, "%.9f %s %d %g\n", ev.at.to_seconds(),
+                  kind_name(ev.kind), ev.node, ev.factor);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cbe;
+  util::Cli cli(argc, argv);
+  const std::string script_path = cli.get("script", "");
+  const std::string out_path = cli.get("out", "");
+  const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 2));
+  task::SyntheticConfig scfg;
+  scfg.tasks_per_bootstrap = static_cast<int>(cli.get_int("tasks", 60));
+  const std::uint64_t fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 2026));
+  const std::string predicate = cli.get("predicate", "spe-failures");
+  const std::uint64_t min_count =
+      static_cast<std::uint64_t>(cli.get_int("min", 1));
+  double verify_fraction = cli.get_double("verify-fraction", -1.0);
+  cli.enforce_usage_or_exit(kUsage);
+
+  if (script_path.empty() ||
+      (predicate != "spe-failures" && predicate != "reoffloads" &&
+       predicate != "corrupt-detected")) {
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return 2;
+  }
+  if (verify_fraction < 0.0) {
+    verify_fraction = predicate == "corrupt-detected" ? 1.0 : 0.0;
+  }
+
+  std::ifstream in(script_path);
+  if (!in) {
+    std::fprintf(stderr, "fault_shrink: cannot read %s\n",
+                 script_path.c_str());
+    return 1;
+  }
+  std::vector<FaultEvent> events;
+  std::string parse_error;
+  if (!parse_script(in, events, parse_error)) {
+    std::fprintf(stderr, "fault_shrink: %s: %s\n", script_path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+
+  const task::Workload workload = task::make_synthetic(bootstraps, scfg);
+  int runs = 0;
+  auto interesting = [&](const std::vector<FaultEvent>& candidate) {
+    rt::RunConfig cfg;
+    cfg.fault.seed = fault_seed;
+    cfg.fault_script = candidate;
+    cfg.integrity.verify_fraction = verify_fraction;
+    cfg.integrity.crc_framing = verify_fraction > 0.0;
+    rt::MgpsPolicy mgps;
+    const rt::RunResult res = rt::run_workload(workload, mgps, cfg);
+    ++runs;
+    const std::uint64_t value = predicate == "spe-failures"
+                                    ? res.spe_failures
+                                    : predicate == "reoffloads"
+                                          ? res.reoffloads
+                                          : res.corrupt_detected;
+    return value >= min_count;
+  };
+
+  if (!interesting(events)) {
+    std::fprintf(stderr,
+                 "fault_shrink: the full script is not interesting "
+                 "(%s < %llu); nothing to shrink\n",
+                 predicate.c_str(),
+                 static_cast<unsigned long long>(min_count));
+    return 1;
+  }
+
+  // Classic ddmin over the event list: try dropping ever-finer chunks,
+  // keeping any reduction that preserves the predicate.  Terminates at
+  // 1-minimality because the final granularity tries every single event.
+  const std::size_t original = events.size();
+  std::size_t n = 2;
+  while (events.size() >= 2) {
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < events.size(); start += chunk) {
+      std::vector<FaultEvent> candidate;
+      candidate.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(events[i]);
+      }
+      if (!candidate.empty() && interesting(candidate)) {
+        events = std::move(candidate);
+        n = n > 2 ? n - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= events.size()) break;  // every single event is essential
+      n = std::min(events.size(), n * 2);
+    }
+  }
+
+  const std::string text = format_script(events);
+  std::printf("# shrunk %zu -> %zu events in %d runs (predicate %s >= %llu)\n",
+              original, events.size(), runs, predicate.c_str(),
+              static_cast<unsigned long long>(min_count));
+  std::fputs(text.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << text;
+    if (!out) {
+      std::fprintf(stderr, "fault_shrink: failed to write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
