@@ -15,13 +15,17 @@
 // Exit status: 0 when every admitted job completed, 1 otherwise (some jobs
 // rejected/shed/failed — expected under overload configs).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "jobsvc/service.hpp"
+#include "sim/fault.hpp"
 #include "trace/export.hpp"
 #include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -67,7 +71,32 @@ output:
                        fault-free run's
   --metrics[=FILE]     print (or write) the MetricsRegistry JSON
   --trace=FILE         write the event trace as text ("-" for stdout)
+
+observability (DESIGN.md section 12):
+  --flight-recorder[=N]  keep the last N trace events per thread in a bounded
+                       ring (bare flag: 4096) and dump them on crash or
+                       nonzero exit
+  --flight-dump=FILE   where the flight-recorder dump goes
+                       (default flight.trace)
+  --die-at-event=N     kill the process (SIGKILL) at the Nth executed step --
+                       the crash clock; the flight recorder dumps first
+  --statusz=FILE       write periodic cbe-statusz-v1 JSON snapshots to FILE
+                       (view with cell_top)
+  --statusz-text=FILE  also write the text rendering of each snapshot
+  --statusz-every=S    virtual seconds between snapshots (default 0.05)
 )";
+
+/// Forwards every event to both sinks: lets --trace (full stream) and
+/// --flight-recorder (bounded tail) observe one run simultaneously.
+struct TeeSink final : cbe::trace::TraceSink {
+  cbe::trace::TraceSink* a = nullptr;
+  cbe::trace::TraceSink* b = nullptr;
+  void record(std::int64_t t_ns, cbe::trace::EventKind kind, int spe, int pid,
+              std::int64_t x = 0, std::int64_t y = 0) override {
+    if (a != nullptr) a->record(t_ns, kind, spe, pid, x, y);
+    if (b != nullptr) b->record(t_ns, kind, spe, pid, x, y);
+  }
+};
 
 // --results / --metrics accept an optional file: bare flag -> stdout,
 // --flag=FILE -> the file.  Returns false on write failure.
@@ -116,38 +145,80 @@ int main(int argc, char** argv) {
   const std::string results_dest = cli.get("results", "");
   const std::string metrics_dest = cli.get("metrics", "");
   const std::string trace_path = cli.get("trace", "");
+
+  const std::string recorder_flag = cli.get("flight-recorder", "");
+  const std::string flight_dump = cli.get("flight-dump", "flight.trace");
+  const std::int64_t die_at = cli.get_int("die-at-event", 0);
+  cfg.statusz.json_path = cli.get("statusz", "");
+  cfg.statusz.text_path = cli.get("statusz-text", "");
+  if (!cfg.statusz.json_path.empty() || !cfg.statusz.text_path.empty()) {
+    cfg.statusz.every_s = cli.get_double("statusz-every", 0.05);
+  }
   cli.enforce_usage_or_exit(kUsage);
 
   trace::TraceSink sink;
   trace::MetricsRegistry metrics;
-  if (!trace_path.empty()) cfg.trace = &sink;
+  std::size_t ring = 0;
+  if (!recorder_flag.empty()) {
+    ring = recorder_flag == "true"
+               ? 4096
+               : static_cast<std::size_t>(std::strtoull(
+                     recorder_flag.c_str(), nullptr, 10));
+    if (ring == 0) ring = 4096;
+  }
+  trace::FlightRecorder recorder(ring == 0 ? 16 : ring);
+  TeeSink tee;
+  if (ring != 0) {
+    trace::install_flight_recorder(&recorder, flight_dump);
+    // Dump the recorder as the process's last act when the crash clock
+    // kills it: the whole point of --die-at-event + --flight-recorder.
+    sim::set_crash_clock_hook(
+        []() noexcept { cbe::trace::dump_flight_recorder("crash-clock",
+                                                         /*force=*/true); });
+    if (!trace_path.empty()) {
+      tee.a = &sink;
+      tee.b = &recorder;
+      cfg.trace = &tee;
+    } else {
+      cfg.trace = &recorder;
+    }
+  } else if (!trace_path.empty()) {
+    cfg.trace = &sink;
+  }
+  if (die_at > 0) sim::arm_crash_clock(die_at);
   cfg.metrics = &metrics;
 
   jobsvc::Service svc(cfg);
   const jobsvc::ServiceReport rep = svc.run(jobsvc::make_job_mix(mix));
 
   std::fputs(rep.to_text().c_str(), stdout);
+  // Any nonzero exit leaves a flight-recorder dump behind (when one is
+  // installed): the failure triage artifact, same format as the crash dump.
+  auto fail = [](int code, const char* reason) {
+    trace::dump_flight_recorder(reason);
+    return code;
+  };
   // Sustained watchdog churn must not leak event-queue memory: resident
   // entries (live + cancelled corpses) stay proportional to live events.
   if (rep.engine_queue_peak > 2 * rep.engine_live_peak + 64) {
-    std::fprintf(stderr,
-                 "cell_jobsvc: engine queue leak: queue_peak=%llu "
-                 "live_peak=%llu\n",
-                 static_cast<unsigned long long>(rep.engine_queue_peak),
-                 static_cast<unsigned long long>(rep.engine_live_peak));
-    return 3;
+    CBE_LOG_C(Error, "jobsvc",
+              "engine queue leak: queue_peak=%llu live_peak=%llu",
+              static_cast<unsigned long long>(rep.engine_queue_peak),
+              static_cast<unsigned long long>(rep.engine_live_peak));
+    return fail(3, "engine-queue-leak");
   }
   if (!results_dest.empty() && !emit(results_dest, rep.results_text()))
-    return 2;
+    return fail(2, "io-error");
   if (!metrics_dest.empty() && !emit(metrics_dest, metrics.to_json() + "\n"))
-    return 2;
+    return fail(2, "io-error");
   if (!trace_path.empty()) {
     const std::string text = trace::to_text(sink.events());
     if (trace_path == "-") {
       std::fputs(text.c_str(), stdout);
     } else if (!trace::write_file(trace_path, text)) {
-      return 2;
+      return fail(2, "io-error");
     }
   }
-  return rep.completed == rep.submitted ? 0 : 1;
+  if (rep.completed == rep.submitted) return 0;
+  return fail(1, "incomplete-jobs");
 }

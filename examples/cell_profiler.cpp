@@ -12,13 +12,23 @@
 //                    scenario the golden-trace tests use, so the report is
 //                    reproducible down to the byte.
 //
-//   build/examples/cell_profiler [--input=F] [--report=text|json] [--out=F]
-//       [--bootstraps=N] [--tasks=N] [--seed=S] [--fault-seed=S]
+//   build/examples/cell_profiler [--input=F] [--span=JOB] [--report=text|json]
+//       [--out=F] [--bootstraps=N] [--tasks=N] [--seed=S] [--fault-seed=S]
 //       [--golden-faults]
 //
+// Traces that interleave several causal spans (a jobsvc run, a flight-
+// recorder dump) carry events for many jobs at once; analyzing them as one
+// timeline attributes job A's queueing to job B's critical path.  For such
+// mixed traces --span=JOB selects one job's span family (keeping untagged
+// global events like faults for context); omitting it on a mixed trace is
+// an error that lists the job ids present.
+//
 // Exit codes: 0 ok, 1 I/O or analysis failure, 2 usage error.
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -34,9 +44,19 @@
 namespace {
 
 constexpr const char kUsage[] =
-    "cell_profiler [--input=F] [--report=text|json] [--out=F]\n"
+    "cell_profiler [--input=F] [--span=JOB] [--report=text|json] [--out=F]\n"
     "    [--bootstraps=N] [--tasks=N] [--seed=S] [--fault-seed=S]\n"
     "    [--golden-faults]";
+
+/// Distinct job ids among span-tagged events (untagged events don't count).
+std::set<std::uint32_t> span_jobs(const std::vector<cbe::trace::Event>& evs) {
+  std::set<std::uint32_t> jobs;
+  for (const cbe::trace::Event& e : evs) {
+    const cbe::trace::SpanParts p = cbe::trace::span_parts(e.span);
+    if (p.valid) jobs.insert(p.job);
+  }
+  return jobs;
+}
 
 }  // namespace
 
@@ -44,6 +64,9 @@ int main(int argc, char** argv) {
   using namespace cbe;
   util::Cli cli(argc, argv);
   const std::string input = cli.get("input", "");
+  const bool span_given = cli.has("span");
+  const std::uint32_t span_job =
+      static_cast<std::uint32_t>(cli.get_int("span", 0));
   const std::string report = cli.get("report", "text");
   const std::string out_path = cli.get("out", "");
   const int bootstraps = static_cast<int>(cli.get_int("bootstraps", 2));
@@ -72,6 +95,40 @@ int main(int argc, char** argv) {
     if (!analysis::parse_text_trace(ss.str(), events, &err)) {
       std::fprintf(stderr, "cell_profiler: %s: %s\n", input.c_str(),
                    err.c_str());
+      return 1;
+    }
+    const std::set<std::uint32_t> jobs = span_jobs(events);
+    if (span_given) {
+      if (!jobs.count(span_job)) {
+        std::fprintf(stderr,
+                     "cell_profiler: %s has no events for --span=%u\n",
+                     input.c_str(), span_job);
+        return 1;
+      }
+      // Keep the selected job's span family plus untagged global events
+      // (faults, idle markers): they are shared context, not another job.
+      events.erase(std::remove_if(events.begin(), events.end(),
+                                  [span_job](const trace::Event& e) {
+                                    const trace::SpanParts p =
+                                        trace::span_parts(e.span);
+                                    return p.valid && p.job != span_job;
+                                  }),
+                   events.end());
+    } else if (jobs.size() > 1) {
+      std::string list;
+      std::size_t shown = 0;
+      for (std::uint32_t j : jobs) {
+        if (shown++ == 8) {
+          list += ", ...";
+          break;
+        }
+        if (!list.empty()) list += ", ";
+        list += std::to_string(j);
+      }
+      std::fprintf(stderr,
+                   "cell_profiler: %s is a mixed trace: events span %zu jobs "
+                   "(%s); pass --span=JOB to pick one\n",
+                   input.c_str(), jobs.size(), list.c_str());
       return 1;
     }
   } else {

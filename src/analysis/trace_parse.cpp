@@ -48,13 +48,28 @@ bool parse_text_trace(const std::string& text,
     std::int64_t t = 0, a = 0, b = 0;
     int spe = 0, pid = 0;
     char name[64] = {0};
+    int consumed = 0;
     const int n = std::sscanf(line.c_str(),
                               "%" SCNd64 " %63s spe=%d pid=%d a=%" SCNd64
-                              " b=%" SCNd64,
-                              &t, name, &spe, &pid, &a, &b);
+                              " b=%" SCNd64 "%n",
+                              &t, name, &spe, &pid, &a, &b, &consumed);
     if (n != 6) {
       set_err(err, line_no, "malformed event line '" + line + "'");
       return false;
+    }
+    // Optional trailing causal-span field (format v1 extension): ` s=<u64>`.
+    // Anything else after the six required fields is a malformed line.
+    std::uint64_t span = trace::kNoSpan;
+    if (static_cast<std::size_t>(consumed) < line.size()) {
+      int span_end = 0;
+      const int m = std::sscanf(line.c_str() + consumed, " s=%" SCNu64 "%n",
+                                &span, &span_end);
+      if (m != 1 ||
+          static_cast<std::size_t>(consumed + span_end) != line.size()) {
+        set_err(err, line_no,
+                "malformed trailing fields in event line '" + line + "'");
+        return false;
+      }
     }
     const trace::EventKind kind = trace::event_kind_from_name(name);
     if (kind == trace::EventKind::kCount) {
@@ -62,7 +77,7 @@ bool parse_text_trace(const std::string& text,
       return false;
     }
     out.push_back(trace::Event{t, a, b, pid, static_cast<std::int16_t>(spe),
-                               kind});
+                               kind, span});
   }
   if (!saw_header) {
     set_err(err, line_no == 0 ? 1 : line_no, "empty input (no header)");

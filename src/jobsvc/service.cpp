@@ -8,9 +8,13 @@
 #include <stdexcept>
 
 #include "ckpt/format.hpp"
+#include "jobsvc/statusz.hpp"
 #include "sim/engine.hpp"
+#include "trace/export.hpp"
 #include "trace/metrics.hpp"
+#include "trace/recorder.hpp"
 #include "trace/trace.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace cbe::jobsvc {
@@ -137,6 +141,10 @@ class ServiceRun {
       }
     }
     schedule_faults();
+    if (cfg_.statusz.every_s > 0.0) {
+      eng_.schedule_after(sim::Time::sec(cfg_.statusz.every_s),
+                          [this] { on_statusz(); });
+    }
     eng_.run();
     fail_starved();
     return make_report();
@@ -195,6 +203,17 @@ class ServiceRun {
   double now_s() const { return eng_.now().to_seconds(); }
 
   static int jid(const Rec& rec) { return static_cast<int>(rec.spec.id); }
+
+  /// Causal span at `rec`'s current position: job → attempt generation →
+  /// migration hop → step.  Installed (ScopedSpan) around each lifecycle
+  /// handler so every event the handler emits is attributable to the exact
+  /// (job, attempt, hop) that caused it — cell_profiler groups on this.
+  std::uint64_t span_of(const Rec& rec) const {
+    return trace::make_span(rec.spec.id,
+                            static_cast<std::uint64_t>(rec.attempts),
+                            static_cast<std::uint64_t>(rec.migrations),
+                            static_cast<std::uint64_t>(rec.live.steps_done));
+  }
 
   sim::Time step_time(const Blade& b, const JobSpec& spec) const {
     const double speed = b.spec.speed * b.degrade;
@@ -329,6 +348,7 @@ class ServiceRun {
 
   void on_submit(std::size_t j) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     ++submitted_;
     CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobSubmit, -1, jid(rec),
                     rec.spec.tenant, rec.spec.priority);
@@ -355,6 +375,7 @@ class ServiceRun {
 
   void admit(std::size_t j) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     ++tenant_active_[rec.spec.tenant];
     rec.live = make_initial_state(rec.spec, cfg_.seed);
     rec.state = RecState::Queued;
@@ -367,6 +388,7 @@ class ServiceRun {
 
   void reject(std::size_t j, RejectReason why) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobReject, -1, jid(rec),
                     rec.spec.tenant, static_cast<std::int64_t>(why));
     ++rejected_;
@@ -375,6 +397,7 @@ class ServiceRun {
 
   void shed(std::size_t j, std::uint64_t displacing_id) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     queue_.erase(std::find(queue_.begin(), queue_.end(), j));
     CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobShed, -1, jid(rec),
                     rec.spec.tenant,
@@ -471,6 +494,7 @@ class ServiceRun {
     rec.blade = blade_idx;
     rec.last_blade = blade_idx;
     ++rec.attempts;
+    trace::ScopedSpan span(span_of(rec));
     if (rec.first_start_s < 0.0) {
       rec.first_start_s = now_s();
       queue_wait_samples_.push_back(rec.first_start_s - rec.spec.submit_s);
@@ -497,6 +521,10 @@ class ServiceRun {
   void on_step(std::size_t j) {
     Rec& rec = recs_[j];
     if (rec.state != RecState::Running) return;
+    trace::ScopedSpan span(span_of(rec));
+    // Crash-clock tick per executed step: --die-at-event N kills the service
+    // mid-flight at a deterministic point (kill-and-dump testing).
+    sim::crash_clock_tick();
     Blade& b = blades_[static_cast<std::size_t>(rec.blade)];
     if (step_fails(rec)) {
       fail_execution(j, FailReason::StepFault);
@@ -558,6 +586,7 @@ class ServiceRun {
 
   void complete(std::size_t j) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     Blade& b = blades_[static_cast<std::size_t>(rec.blade)];
     detach_from_blade(rec, b);
     b.consecutive_failures = 0;
@@ -581,13 +610,18 @@ class ServiceRun {
     Rec& rec = recs_[j];
     if (rec.state != RecState::Running) return;
     ++watchdog_fires_;
+    trace::ScopedSpan span(span_of(rec));
     CBE_TRACE_EVENT(now_ns(), trace::EventKind::WatchdogFire, rec.blade,
                     jid(rec), rec.attempts, 0);
+    // A fired watchdog is exactly the moment an operator wants the event
+    // tail: dump the flight recorder (budgeted, so churny runs can't spam).
+    trace::dump_flight_recorder("watchdog-fire");
     fail_execution(j, FailReason::Watchdog);
   }
 
   void fail_execution(std::size_t j, FailReason why) {
     Rec& rec = recs_[j];
+    trace::ScopedSpan span(span_of(rec));
     Blade& b = blades_[static_cast<std::size_t>(rec.blade)];
     const int blade_idx = rec.blade;
     detach_from_blade(rec, b);
@@ -664,6 +698,7 @@ class ServiceRun {
     ++quarantined_blades_;
     CBE_TRACE_EVENT(now_ns(), trace::EventKind::Quarantine, blade_idx, -1,
                     b.corruption_strikes, cfg_.quarantine_threshold);
+    trace::dump_flight_recorder("quarantine");
     std::vector<std::size_t> victims = std::move(b.running_jobs);
     b.running_jobs.clear();
     b.running = 0;
@@ -677,6 +712,7 @@ class ServiceRun {
       ++rec.migrations;
       ++migrations_;
       recover_state(rec);
+      trace::ScopedSpan span(span_of(rec));
       CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobMigrate, -1, jid(rec),
                       blade_idx, rec.live.steps_done);
       rec.state = RecState::Queued;
@@ -717,6 +753,7 @@ class ServiceRun {
       ++rec.migrations;
       ++migrations_;
       recover_state(rec);
+      trace::ScopedSpan span(span_of(rec));
       CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobMigrate, -1, jid(rec),
                       ev.node, rec.live.steps_done);
       rec.state = RecState::Queued;
@@ -773,11 +810,133 @@ class ServiceRun {
           rec.state == RecState::Submitted) {
         continue;
       }
+      trace::ScopedSpan span(span_of(rec));
       CBE_TRACE_EVENT(now_ns(), trace::EventKind::JobFail, -1, jid(rec),
                       rec.attempts,
                       static_cast<std::int64_t>(FailReason::Starved));
       ++failed_;
       finish(rec, JobStatus::Failed, /*tenant_admitted=*/true);
+    }
+  }
+
+  // -- live status plane (DESIGN.md §12) -------------------------------------
+
+  StatusSnapshot build_snapshot() {
+    StatusSnapshot snap;
+    snap.t_ns = now_ns();
+    snap.seq = statusz_seq_;
+    snap.submitted = submitted_;
+    snap.completed = completed_;
+    snap.rejected = rejected_;
+    snap.shed = shed_;
+    snap.failed = failed_;
+    snap.corrupt_jobs = corrupt_jobs_;
+    snap.deadline_exceeded = deadline_exceeded_;
+    snap.retries = retries_;
+    snap.migrations = migrations_;
+    snap.watchdog_fires = watchdog_fires_;
+    snap.breaker_opens = breaker_opens_;
+    snap.quarantined_blades = quarantined_blades_;
+    snap.corrupt_detected = corrupt_detected_;
+    snap.queue_depth = static_cast<int>(queue_.size());
+    if (!latency_samples_.empty()) {
+      snap.p50_latency_s = util::percentile(latency_samples_, 50);
+      snap.p99_latency_s = util::percentile(latency_samples_, 99);
+    }
+
+    // Tenant rollup straight off the job records: O(jobs) per snapshot,
+    // which keeps the hot path free of extra bookkeeping.
+    std::map<std::uint32_t, TenantStatus> tenants;
+    std::uint64_t with_deadline = 0, missed = 0;
+    std::map<std::uint32_t, std::uint64_t> t_deadline, t_missed;
+    for (const Rec& rec : recs_) {
+      TenantStatus& t = tenants[rec.spec.tenant];
+      t.tenant = rec.spec.tenant;
+      switch (rec.state) {
+        case RecState::Queued: ++t.queued; break;
+        case RecState::Running: ++t.running; ++snap.running; break;
+        case RecState::Backoff: ++t.backoff; break;
+        case RecState::Submitted: break;
+        case RecState::Terminal:
+          switch (rec.status) {
+            case JobStatus::Completed: ++t.completed; break;
+            case JobStatus::Failed:
+            case JobStatus::Corrupt: ++t.failed; break;
+            case JobStatus::Rejected:
+            case JobStatus::Shed: ++t.rejected; break;
+            case JobStatus::DeadlineExceeded: ++t.deadline_missed; break;
+          }
+          if (rec.spec.deadline_s > 0.0) {
+            ++with_deadline;
+            ++t_deadline[rec.spec.tenant];
+            if (rec.status == JobStatus::DeadlineExceeded) {
+              ++missed;
+              ++t_missed[rec.spec.tenant];
+            }
+          }
+          break;
+      }
+    }
+    snap.slo_miss_ratio =
+        with_deadline > 0
+            ? static_cast<double>(missed) / static_cast<double>(with_deadline)
+            : 0.0;
+    snap.tenants.reserve(tenants.size());
+    for (auto& [id, t] : tenants) {
+      const std::uint64_t d = t_deadline[id];
+      t.slo_miss_ratio =
+          d > 0 ? static_cast<double>(t_missed[id]) / static_cast<double>(d)
+                : 0.0;
+      snap.tenants.push_back(std::move(t));
+    }
+
+    snap.blades.reserve(blades_.size());
+    for (std::size_t i = 0; i < blades_.size(); ++i) {
+      const Blade& b = blades_[i];
+      BladeStatus bs;
+      bs.blade = static_cast<int>(i);
+      bs.alive = b.alive;
+      bs.quarantined = b.quarantined;
+      bs.breaker = b.breaker == BreakerState::Closed
+                       ? "closed"
+                       : (b.breaker == BreakerState::Open ? "open"
+                                                          : "half-open");
+      bs.running = b.running;
+      bs.slots = b.spec.slots;
+      bs.degrade = b.degrade;
+      bs.consecutive_failures = b.consecutive_failures;
+      bs.corruption_strikes = b.corruption_strikes;
+      bs.dispatches = b.dispatches;
+      snap.blades.push_back(std::move(bs));
+    }
+    fill_recorder_status(snap);
+    return snap;
+  }
+
+  void write_statusz(const StatusSnapshot& snap) {
+    if (!cfg_.statusz.json_path.empty() &&
+        !trace::write_file(cfg_.statusz.json_path, statusz_json(snap))) {
+      CBE_LOG_C(Warn, "jobsvc", "statusz: cannot write %s",
+                cfg_.statusz.json_path.c_str());
+    }
+    if (!cfg_.statusz.text_path.empty() &&
+        !trace::write_file(cfg_.statusz.text_path, statusz_text(snap))) {
+      CBE_LOG_C(Warn, "jobsvc", "statusz: cannot write %s",
+                cfg_.statusz.text_path.c_str());
+    }
+  }
+
+  void on_statusz() {
+    write_statusz(build_snapshot());
+    ++statusz_seq_;
+    // Reschedule only while work remains, so the status clock never keeps
+    // the engine alive past the last job.
+    for (const Rec& rec : recs_) {
+      if (rec.state != RecState::Terminal) {
+        eng_.schedule_after(sim::Time::sec(cfg_.statusz.every_s),
+                            [this] { on_statusz(); });
+        return;
+      }
     }
   }
 
@@ -840,6 +999,13 @@ class ServiceRun {
       rep.p50_queue_wait_s = util::percentile(queue_wait_samples_, 50);
       rep.p99_queue_wait_s = util::percentile(queue_wait_samples_, 99);
     }
+    {
+      const StatusSnapshot snap = build_snapshot();
+      rep.statusz_json = statusz_json(snap);
+      rep.statusz_text = statusz_text(snap);
+      rep.statusz_snapshots = statusz_seq_;
+      write_statusz(snap);  // final snapshot supersedes the periodic file
+    }
     export_metrics(rep);
     return rep;
   }
@@ -900,6 +1066,7 @@ class ServiceRun {
                 breaker_opens_ = 0, corrupt_injected_ = 0,
                 corrupt_detected_ = 0, corrupt_jobs_ = 0, verify_reexecs_ = 0,
                 quarantined_blades_ = 0;
+  std::uint64_t statusz_seq_ = 0;  ///< periodic snapshots written so far
 };
 
 }  // namespace

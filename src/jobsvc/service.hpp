@@ -71,6 +71,19 @@ struct AdmissionPolicy {
   bool shed_lowest = true;
 };
 
+/// Live status plane (DESIGN.md §12): periodic `cbe-statusz-v1` snapshots
+/// of queue/tenant/blade/SLO state.  Snapshots are taken in virtual time, so
+/// they are deterministic per config — including their contents.
+struct StatuszPolicy {
+  /// Virtual seconds between snapshots; 0 disables the periodic export (the
+  /// final snapshot in ServiceReport is always produced).
+  double every_s = 0.0;
+  /// File the JSON snapshot is (re)written to; "" keeps snapshots in memory.
+  std::string json_path;
+  /// Optional parallel text rendering (what cell_top shows).
+  std::string text_path;
+};
+
 struct ServiceConfig {
   /// Master seed: job payload streams, backoff jitter, and (salted) the
   /// fault plan all derive from it.
@@ -116,6 +129,8 @@ struct ServiceConfig {
   sim::FaultConfig fault;
   /// Explicit fault script (node = blade index); overrides the drawn plan.
   std::vector<sim::FaultEvent> fault_script;
+
+  StatuszPolicy statusz;
 
   trace::TraceSink* trace = nullptr;
   trace::MetricsRegistry* metrics = nullptr;
@@ -194,6 +209,13 @@ struct ServiceReport {
   /// under watchdog churn: queue_peak <= 2 * live_peak + 64.
   std::uint64_t engine_queue_peak = 0;
   std::uint64_t engine_live_peak = 0;
+
+  /// Final `cbe-statusz-v1` snapshot (JSON and text renderings), taken after
+  /// the run drained.  Deterministic per config — the golden test diffs it.
+  std::string statusz_json;
+  std::string statusz_text;
+  /// Periodic snapshots written during the run (excludes the final one).
+  std::uint64_t statusz_snapshots = 0;
 
   /// Per-job *results only* (id, tenant, status, digest, value), one line
   /// per job in id order.  Byte-identical across runs that differ only in

@@ -94,8 +94,8 @@ void OffloadPool::wake_one() {
   cv_.notify_one();
 }
 
-void OffloadPool::enqueue(Job job) {
-  auto* node = new Job(std::move(job));
+void OffloadPool::enqueue(std::function<void()> job) {
+  auto* node = new Job{std::move(job), trace::current_span()};
   if (tls_worker.pool == this && tls_worker.index >= 0 &&
       deques_[static_cast<std::size_t>(tls_worker.index)]->push(node)) {
     wake_one();  // lock-free fast path: own-deque push succeeded
@@ -356,6 +356,9 @@ void OffloadPool::worker_loop(int index) {
     }
 
     busy_.fetch_add(1, std::memory_order_relaxed);
+    // Re-install the submitter's span for the task's whole execution, so
+    // both trace records below and any nested enqueue() inherit it.
+    trace::ScopedSpan span(job->span);
 #if CBE_TRACE_ENABLED
     trace::ConcurrentTraceSink* sink =
         trace_sink_.load(std::memory_order_acquire);
@@ -373,7 +376,7 @@ void OffloadPool::worker_loop(int index) {
           trace::EventKind::TaskDispatch, index, task_id);
     }
 #endif
-    (*job)();
+    job->fn();
     delete job;
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
 #if CBE_TRACE_ENABLED

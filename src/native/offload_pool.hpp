@@ -220,7 +220,14 @@ class OffloadPool {
   void set_metrics(trace::MetricsRegistry* m);
 
  private:
-  using Job = std::function<void()>;
+  /// A queued task plus the causal span of its submitter, captured at
+  /// enqueue() so the span survives the thread hop: the worker re-installs
+  /// it before recording/running, and cell_profiler can attribute pool-side
+  /// TaskDispatch/TaskComplete events to the job that off-loaded them.
+  struct Job {
+    std::function<void()> fn;
+    std::uint64_t span = 0;  // trace::kNoSpan
+  };
 
   struct Deadline {
     std::chrono::steady_clock::time_point at;

@@ -99,6 +99,18 @@ class Driver {
   }
   double clock() const { return cfg_.cell.clock_ghz; }
 
+  /// Causal span for the offload layer: bootstrap → attempt generation →
+  /// recovery re-offload hop → process id.  Matches the jobsvc taxonomy
+  /// (job → attempt → hop → task) so cell_profiler stitches a job's critical
+  /// path across both layers from one span id.
+  std::uint64_t task_span(const Proc& p, int pid,
+                          std::uint64_t attempt) const {
+    if (p.bootstrap < 0) return trace::kNoSpan;
+    return trace::make_span(static_cast<std::uint64_t>(p.bootstrap), attempt,
+                            static_cast<std::uint64_t>(p.retries),
+                            static_cast<std::uint64_t>(pid));
+  }
+
   RuntimeView view() const {
     RuntimeView v;
     v.total_spes = machine_.num_spes();
@@ -362,6 +374,7 @@ void Driver::run_segment(int pid) {
 
 void Driver::dispatch(int pid) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  trace::ScopedSpan span(task_span(p, pid, p.attempt));
   const task::TaskDesc& t = segment(p).task;
   const auto kind = static_cast<std::size_t>(t.kind);
 
@@ -399,6 +412,12 @@ void Driver::dispatch(int pid) {
 void Driver::begin_offload(int pid, const std::vector<int>& idle,
                            bool from_queue) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  // The offload being built is the next attempt generation (faults mode
+  // increments p.attempt below); tag its events with that generation so
+  // dispatch and completion of one attempt share a span.
+  const std::uint64_t span_id =
+      task_span(p, pid, faults_on_ ? p.attempt + 1 : p.attempt);
+  trace::ScopedSpan span(span_id);
   const task::TaskDesc& t = segment(p).task;
   const auto kind = static_cast<std::size_t>(t.kind);
 
@@ -534,8 +553,9 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
   // oracle may flip the declared result, and the sampled redundant-execution
   // check re-runs the task and compares — the only detector that can see a
   // wrong-but-well-framed result (DESIGN.md §11).
-  auto post_compute = [this, pid, master, tp, att, attempt_id,
+  auto post_compute = [this, pid, master, tp, att, attempt_id, span_id,
                        after_compute] {
+    trace::ScopedSpan span(span_id);
     if (!faults_on_ && !cfg_.integrity.enabled()) {
       after_compute();
       return;
@@ -556,7 +576,8 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
     ++res_.verify_reexecs;
     machine_.spe_compute(
         master, tp->spe_cycles_total(),
-        [this, pid, master, att, attempt_id, after_compute] {
+        [this, pid, master, att, attempt_id, span_id, after_compute] {
+          trace::ScopedSpan span(span_id);
           if (att && att->res_poison && !att->closed) {
             ++res_.corrupt_detected;
             CBE_TRACE_EVENT(eng_.now().nanoseconds(),
@@ -600,6 +621,7 @@ void Driver::begin_offload(int pid, const std::vector<int>& idle,
 
 void Driver::on_task_done(int pid, std::uint64_t attempt_id) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  trace::ScopedSpan span(task_span(p, pid, attempt_id));
   bool poisoned = false;
   if (faults_on_) {
     if (attempt_id != p.attempt) {
@@ -802,6 +824,7 @@ void Driver::abandon_attempt(int pid, std::uint64_t attempt_id,
 void Driver::on_watchdog(int pid, std::uint64_t attempt_id) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
   if (p.finished || attempt_id != p.attempt || !p.att) return;
+  trace::ScopedSpan span(task_span(p, pid, attempt_id));
   ++res_.timeouts;
   CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::WatchdogFire,
                   p.att->master, pid,
@@ -858,6 +881,7 @@ void Driver::on_spe_failure(int spe) {
 
 void Driver::redispatch(int pid) {
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  trace::ScopedSpan span(task_span(p, pid, p.attempt));
   ++res_.reoffloads;
   CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::Reoffload, -1,
                   pid, p.retries, 0);
@@ -880,6 +904,7 @@ void Driver::ppe_recover(int pid) {
   // Always-correct fallback: execute the PPE version of the task, as the
   // granularity test's demotion path does, but driven by fault recovery.
   Proc& p = procs_[static_cast<std::size_t>(pid)];
+  trace::ScopedSpan span(task_span(p, pid, p.attempt));
   ++res_.fault_ppe_fallbacks;
   CBE_TRACE_EVENT(eng_.now().nanoseconds(), trace::EventKind::PpeFallback,
                   -1, pid, static_cast<std::int64_t>(segment(p).task.kind),

@@ -83,7 +83,12 @@ FaultPlan FaultPlan::from_script(std::vector<FaultEvent> events,
 namespace {
 std::atomic<std::int64_t> g_crash_budget{0};    // 0 = disarmed
 std::atomic<std::int64_t> g_crash_position{0};  // events consumed
+std::atomic<CrashHook> g_crash_hook{nullptr};
 }  // namespace
+
+void set_crash_clock_hook(CrashHook hook) noexcept {
+  g_crash_hook.store(hook, std::memory_order_relaxed);
+}
 
 void arm_crash_clock(std::int64_t die_at_event,
                      std::int64_t start_position) noexcept {
@@ -97,6 +102,9 @@ void crash_clock_tick() noexcept {
       g_crash_position.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::int64_t budget = g_crash_budget.load(std::memory_order_relaxed);
   if (budget > 0 && pos >= budget) {
+    if (CrashHook hook = g_crash_hook.load(std::memory_order_relaxed)) {
+      hook();  // last gasp: flush the flight recorder before the kill
+    }
 #if defined(__unix__) || defined(__APPLE__)
     std::raise(SIGKILL);
 #endif

@@ -141,4 +141,11 @@ void crash_clock_tick() noexcept;
 /// Events consumed so far (the position a checkpoint records).
 std::int64_t crash_clock_position() noexcept;
 
+/// Last-gasp hook run on the fatal tick, immediately before SIGKILL.  Used
+/// by binaries to flush the trace flight recorder so a crash still leaves a
+/// dump on disk.  Must be async-signal-tolerant in spirit: no exceptions
+/// escape, the process dies right after regardless.  Pass nullptr to clear.
+using CrashHook = void (*)() noexcept;
+void set_crash_clock_hook(CrashHook hook) noexcept;
+
 }  // namespace cbe::sim

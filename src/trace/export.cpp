@@ -6,17 +6,29 @@
 #include <cstring>
 #include <set>
 
+#include "util/log.hpp"
+
 namespace cbe::trace {
 
 std::string to_text(const std::vector<Event>& events) {
   std::string out = "# cbe-trace v1\n";
-  char line[160];
+  char line[192];
   for (const Event& e : events) {
-    std::snprintf(line, sizeof line,
-                  "%" PRId64 " %s spe=%d pid=%d a=%" PRId64 " b=%" PRId64
-                  "\n",
-                  e.t_ns, event_name(e.kind), static_cast<int>(e.spe),
-                  static_cast<int>(e.pid), e.a, e.b);
+    // The span field is optional on purpose: untagged events render exactly
+    // as in format v1, so traces without spans stay byte-identical.
+    if (e.span == kNoSpan) {
+      std::snprintf(line, sizeof line,
+                    "%" PRId64 " %s spe=%d pid=%d a=%" PRId64 " b=%" PRId64
+                    "\n",
+                    e.t_ns, event_name(e.kind), static_cast<int>(e.spe),
+                    static_cast<int>(e.pid), e.a, e.b);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%" PRId64 " %s spe=%d pid=%d a=%" PRId64 " b=%" PRId64
+                    " s=%" PRIu64 "\n",
+                    e.t_ns, event_name(e.kind), static_cast<int>(e.spe),
+                    static_cast<int>(e.pid), e.a, e.b, e.span);
+    }
     out += line;
   }
   return out;
@@ -59,6 +71,13 @@ std::string args2(const char* k1, std::int64_t v1, const char* k2,
 constexpr int kGlobalTid = 99;
 constexpr int kPpeTidBase = 100;
 
+/// Extra top-level field carrying the causal span id; viewers ignore
+/// unknown keys, cell_profiler's JSON consumers can group by it.
+std::string span_field(const Event& e) {
+  if (e.span == kNoSpan) return "";
+  return ",\"span\":" + std::to_string(e.span);
+}
+
 }  // namespace
 
 std::string to_chrome_json(const std::vector<Event>& events) {
@@ -72,10 +91,11 @@ std::string to_chrome_json(const std::vector<Event>& events) {
     switch (e.kind) {
       case EventKind::TaskDispatch:
         append_event(out, first, "task", "task", 'B', e.t_ns, spe,
-                     args2("bootstrap", e.a, "degree", e.b) );
+                     args2("bootstrap", e.a, "degree", e.b) + span_field(e));
         break;
       case EventKind::TaskComplete:
-        append_event(out, first, "task", "task", 'E', e.t_ns, spe, "");
+        append_event(out, first, "task", "task", 'E', e.t_ns, spe,
+                     span_field(e));
         break;
       case EventKind::LoopFork:
         append_event(out, first, "llp", "loop", 'B', e.t_ns, spe,
@@ -113,7 +133,9 @@ std::string to_chrome_json(const std::vector<Event>& events) {
       default: {
         const int tid = spe >= 0 ? spe : kGlobalTid;
         append_event(out, first, event_name(e.kind), "runtime", 'i', e.t_ns,
-                     tid, args2("a", e.a, "b", e.b) + ",\"s\":\"g\"");
+                     tid,
+                     args2("a", e.a, "b", e.b) + ",\"s\":\"g\"" +
+                         span_field(e));
         break;
       }
     }
@@ -135,22 +157,22 @@ std::string to_chrome_json(const std::vector<Event>& events) {
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "trace: cannot open %s for writing: %s\n",
-                 path.c_str(), std::strerror(errno));
+    CBE_LOG_C(Error, "trace", "cannot open %s for writing: %s",
+              path.c_str(), std::strerror(errno));
     return false;
   }
   const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
   if (n != content.size()) {
     // Capture the write error before fclose can clobber errno.
-    std::fprintf(stderr, "trace: short write to %s (%zu of %zu bytes): %s\n",
-                 path.c_str(), n, content.size(), std::strerror(errno));
+    CBE_LOG_C(Error, "trace", "short write to %s (%zu of %zu bytes): %s",
+              path.c_str(), n, content.size(), std::strerror(errno));
     std::fclose(f);
     return false;
   }
   // fclose flushes the stdio buffer; a full disk often only surfaces here.
   if (std::fclose(f) != 0) {
-    std::fprintf(stderr, "trace: cannot flush %s: %s\n", path.c_str(),
-                 std::strerror(errno));
+    CBE_LOG_C(Error, "trace", "cannot flush %s: %s", path.c_str(),
+              std::strerror(errno));
     return false;
   }
   return true;

@@ -1,0 +1,185 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "trace/export.hpp"
+#include "util/log.hpp"
+
+namespace cbe::trace {
+
+// One single-writer ring.  `head` counts every record by the owning thread;
+// slot i of event n lives at n % capacity.  The writer stores the slot, then
+// release-stores head; readers acquire head and copy only published slots.
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+  std::vector<Event> slots;
+  std::atomic<std::uint64_t> head{0};
+};
+
+struct FlightRecorder::Impl {
+  mutable std::mutex mu;  ///< guards `rings` registration only
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+// Thread-local attach cache: one ring per (thread, recorder) pair.  Keyed by
+// the recorder pointer so a thread recording into a second recorder (tests)
+// re-attaches instead of writing into the wrong ring.  Nested inside the
+// class via this struct so it can name the private Ring type.
+struct FlightRecorder::TlsAttach {
+  const void* owner = nullptr;
+  Ring* ring = nullptr;
+  static TlsAttach& self() {
+    thread_local TlsAttach tls;
+    return tls;
+  }
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity < 16 ? 16 : capacity), impl_(new Impl) {}
+
+FlightRecorder::~FlightRecorder() {
+  TlsAttach& tls = TlsAttach::self();
+  if (tls.owner == this) tls = TlsAttach{};
+  if (installed_flight_recorder() == this) {
+    install_flight_recorder(nullptr, "");
+  }
+  delete impl_;
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_this_thread() {
+  TlsAttach& tls = TlsAttach::self();
+  if (tls.owner == this) return tls.ring;
+  std::lock_guard lock(impl_->mu);
+  impl_->rings.push_back(std::make_unique<Ring>(capacity_));
+  tls = TlsAttach{this, impl_->rings.back().get()};
+  return tls.ring;
+}
+
+void FlightRecorder::record(std::int64_t t_ns, EventKind kind, int spe,
+                            int pid, std::int64_t a, std::int64_t b) {
+  Ring* r = ring_for_this_thread();
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  r->slots[static_cast<std::size_t>(h % capacity_)] =
+      Event{t_ns, a, b, pid, static_cast<std::int16_t>(spe), kind,
+            current_span()};
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<Event> FlightRecorder::tail() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard lock(impl_->mu);
+    for (const auto& r : impl_->rings) {
+      const std::uint64_t h = r->head.load(std::memory_order_acquire);
+      const std::uint64_t n =
+          h < capacity_ ? h : static_cast<std::uint64_t>(capacity_);
+      out.reserve(out.size() + n);
+      for (std::uint64_t i = h - n; i < h; ++i) {
+        out.push_back(r->slots[static_cast<std::size_t>(i % capacity_)]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& x, const Event& y) {
+    return x.t_ns < y.t_ns;
+  });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard lock(impl_->mu);
+  std::uint64_t n = 0;
+  for (const auto& r : impl_->rings) {
+    n += r->head.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard lock(impl_->mu);
+  std::uint64_t lost = 0;
+  for (const auto& r : impl_->rings) {
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    if (h > capacity_) lost += h - capacity_;
+  }
+  return lost;
+}
+
+std::size_t FlightRecorder::threads_attached() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->rings.size();
+}
+
+// -- Process-wide crash-dump registration ------------------------------------
+
+namespace {
+std::mutex g_dump_mu;
+FlightRecorder* g_recorder = nullptr;
+std::string g_dump_path;
+int g_dump_budget = 0;
+std::atomic<std::uint64_t> g_dumps_written{0};
+}  // namespace
+
+void install_flight_recorder(FlightRecorder* rec, std::string dump_path,
+                             int max_dumps) {
+  std::lock_guard lock(g_dump_mu);
+  g_recorder = rec;
+  g_dump_path = std::move(dump_path);
+  g_dump_budget = rec != nullptr ? max_dumps : 0;
+}
+
+FlightRecorder* installed_flight_recorder() noexcept {
+  std::lock_guard lock(g_dump_mu);
+  return g_recorder;
+}
+
+std::string flight_dump_text(const FlightRecorder& rec,
+                             const std::vector<Event>& events,
+                             const char* reason) {
+  // Header first so the strict parser accepts the file; the annotation rides
+  // in a comment line the parser skips.
+  std::string out = "# cbe-trace v1\n";
+  out += "# flight-recorder reason=" + std::string(reason) +
+         " recorded=" + std::to_string(rec.recorded()) +
+         " overwritten=" + std::to_string(rec.overwritten()) +
+         " capacity=" + std::to_string(rec.capacity()) +
+         " threads=" + std::to_string(rec.threads_attached()) + "\n";
+  const std::string body = to_text(events);
+  // to_text emits its own header line; keep only the event lines.
+  const std::size_t nl = body.find('\n');
+  out += nl == std::string::npos ? body : body.substr(nl + 1);
+  return out;
+}
+
+bool dump_flight_recorder(const char* reason, bool force) noexcept {
+  FlightRecorder* rec = nullptr;
+  std::string path;
+  {
+    std::lock_guard lock(g_dump_mu);
+    if (g_recorder == nullptr || g_dump_path.empty()) return false;
+    if (!force) {
+      if (g_dump_budget <= 0) return false;
+      --g_dump_budget;
+    }
+    rec = g_recorder;
+    path = g_dump_path;
+  }
+  try {
+    const std::string text = flight_dump_text(*rec, rec->tail(), reason);
+    if (!write_file(path, text)) return false;
+    g_dumps_written.fetch_add(1, std::memory_order_relaxed);
+    CBE_LOG_C(Info, "trace", "flight-recorder dump (%s) written to %s",
+              reason, path.c_str());
+    return true;
+  } catch (...) {
+    return false;  // a dump must never turn a crash into a different crash
+  }
+}
+
+std::uint64_t flight_dumps_written() noexcept {
+  return g_dumps_written.load(std::memory_order_relaxed);
+}
+
+}  // namespace cbe::trace

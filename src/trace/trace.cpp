@@ -22,6 +22,7 @@ std::uint64_t TraceSink::count(EventKind kind) const noexcept {
 
 namespace {
 thread_local TraceSink* g_current = nullptr;
+thread_local std::uint64_t g_current_span = kNoSpan;
 }  // namespace
 
 TraceSink* current() noexcept { return g_current; }
@@ -29,6 +30,14 @@ TraceSink* current() noexcept { return g_current; }
 TraceSink* set_current(TraceSink* sink) noexcept {
   TraceSink* prev = g_current;
   g_current = sink;
+  return prev;
+}
+
+std::uint64_t current_span() noexcept { return g_current_span; }
+
+std::uint64_t set_current_span(std::uint64_t span) noexcept {
+  const std::uint64_t prev = g_current_span;
+  g_current_span = span;
   return prev;
 }
 

@@ -147,6 +147,76 @@ static_assert(detail::all_event_kinds_named(),
 /// Inverse of event_name; returns kCount when `name` matches no kind.
 EventKind event_kind_from_name(std::string_view name) noexcept;
 
+// -- Causal spans -------------------------------------------------------------
+//
+// A span is a 64-bit causal identity threaded through trace events so the
+// analyzer can pull one job's cross-component critical path out of a
+// multi-tenant stream.  The taxonomy mirrors the recovery machinery:
+//
+//   job      which logical job (jobsvc job id, or driver bootstrap id)
+//   attempt  retry/attempt generation within that job
+//   hop      migration hop (blade-kill / quarantine recoveries so far)
+//   task     offload task within the attempt (step index, task pid)
+//
+// Packing: bits 63..32 = job + 1 (so every tagged span is nonzero and 0
+// means "untagged"), 31..24 = attempt, 23..16 = hop, 15..0 = task.  The
+// narrow fields saturate instead of wrapping into their neighbours.
+//
+// The current span is ambient per-thread state, exactly like the current
+// sink: installers use ScopedSpan and every record() site picks it up
+// automatically, so instrumented code never threads span arguments around.
+
+constexpr std::uint64_t kNoSpan = 0;
+
+constexpr std::uint64_t make_span(std::uint64_t job, std::uint64_t attempt,
+                                  std::uint64_t hop,
+                                  std::uint64_t task) noexcept {
+  const std::uint64_t j = job < 0xffffffffull ? job + 1 : 0xffffffffull;
+  const std::uint64_t at = attempt < 0xffull ? attempt : 0xffull;
+  const std::uint64_t h = hop < 0xffull ? hop : 0xffull;
+  const std::uint64_t t = task < 0xffffull ? task : 0xffffull;
+  return (j << 32) | (at << 24) | (h << 16) | t;
+}
+
+struct SpanParts {
+  std::uint32_t job = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t hop = 0;
+  std::uint32_t task = 0;
+  bool valid = false;  ///< false when unpacked from kNoSpan
+};
+
+constexpr SpanParts span_parts(std::uint64_t span) noexcept {
+  SpanParts p;
+  if (span == kNoSpan) return p;
+  p.job = static_cast<std::uint32_t>((span >> 32) - 1);
+  p.attempt = static_cast<std::uint32_t>((span >> 24) & 0xff);
+  p.hop = static_cast<std::uint32_t>((span >> 16) & 0xff);
+  p.task = static_cast<std::uint32_t>(span & 0xffff);
+  p.valid = true;
+  return p;
+}
+
+/// The calling thread's ambient span (kNoSpan when none installed).
+std::uint64_t current_span() noexcept;
+/// Installs `span` as the ambient span; returns the previous one.
+std::uint64_t set_current_span(std::uint64_t span) noexcept;
+
+/// RAII installation of an ambient span (restores the previous on exit).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::uint64_t span) : prev_(set_current_span(span)) {}
+  ScopedSpan(std::uint64_t job, std::uint64_t attempt, std::uint64_t hop,
+             std::uint64_t task)
+      : ScopedSpan(make_span(job, attempt, hop, task)) {}
+  ~ScopedSpan() { set_current_span(prev_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
 struct Event {
   std::int64_t t_ns = 0;  ///< simulated ns (or steady-clock ns natively)
   std::int64_t a = 0;
@@ -154,16 +224,28 @@ struct Event {
   std::int32_t pid = -1;
   std::int16_t spe = -1;
   EventKind kind = EventKind::TaskDispatch;
+  std::uint64_t span = kNoSpan;  ///< causal span id (see make_span)
 };
 
 /// Single-writer event recorder.  The simulator installs one as the ambient
 /// sink for the duration of a run; the golden tests snapshot its contents.
+/// record() is virtual so bounded recorders (trace::FlightRecorder) can be
+/// installed anywhere a TraceSink* is accepted.
 class TraceSink {
  public:
-  void record(std::int64_t t_ns, EventKind kind, int spe, int pid,
-              std::int64_t a = 0, std::int64_t b = 0) {
+  TraceSink() = default;
+  virtual ~TraceSink() = default;
+  // Movable (tests return sinks by value); copying a polymorphic sink would
+  // slice derived state, so it stays deleted.
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+  TraceSink(TraceSink&&) = default;
+  TraceSink& operator=(TraceSink&&) = default;
+
+  virtual void record(std::int64_t t_ns, EventKind kind, int spe, int pid,
+                      std::int64_t a = 0, std::int64_t b = 0) {
     events_.push_back(Event{t_ns, a, b, pid, static_cast<std::int16_t>(spe),
-                            kind});
+                            kind, current_span()});
   }
 
   const std::vector<Event>& events() const noexcept { return events_; }
@@ -211,7 +293,8 @@ class ConcurrentTraceSink {
     void record(std::int64_t t_ns, EventKind kind, int spe, int pid,
                 std::int64_t a = 0, std::int64_t b = 0) {
       events_.push_back(Event{t_ns, a, b, pid,
-                              static_cast<std::int16_t>(spe), kind});
+                              static_cast<std::int16_t>(spe), kind,
+                              current_span()});
     }
 
    private:

@@ -446,3 +446,117 @@ TEST(Report, EveryJobAppearsOnceInIdOrder) {
     EXPECT_EQ(rep.jobs[i].spec.id, i);
   }
 }
+
+// -- live status plane (DESIGN.md §12) ---------------------------------------
+
+// The statusz golden-determinism contract: two runs of the same seeded
+// config produce byte-identical JSON and text exports, including under
+// chaos.  This is what lets an operator diff statusz files across replays.
+TEST(Statusz, SeededRunsExportByteIdenticalSnapshots) {
+  const auto jobs = small_mix(48);
+  ServiceConfig cfg;
+  cfg.fleet = platform::BladeFleetConfig::uniform(4);
+  cfg.fault.blade_fail_rate = 0.5;
+  cfg.fault.seed = 11;
+  cfg.step_fail_rate = 0.02;
+  cfg.statusz.every_s = 0.05;
+
+  const ServiceReport a = run_with(cfg, jobs);
+  const ServiceReport b = run_with(cfg, jobs);
+  ASSERT_FALSE(a.statusz_json.empty());
+  EXPECT_EQ(a.statusz_json, b.statusz_json);
+  EXPECT_EQ(a.statusz_text, b.statusz_text);
+  EXPECT_EQ(a.statusz_snapshots, b.statusz_snapshots);
+  EXPECT_GT(a.statusz_snapshots, 0u);
+  EXPECT_NE(a.statusz_json.find("\"schema\":\"cbe-statusz-v1\""),
+            std::string::npos);
+}
+
+TEST(Statusz, FinalSnapshotAlwaysProducedEvenWhenPeriodicDisabled) {
+  const auto jobs = small_mix(8);
+  ServiceConfig cfg;  // statusz.every_s stays 0: no periodic snapshots
+  const ServiceReport rep = run_with(cfg, jobs);
+  EXPECT_EQ(rep.statusz_snapshots, 0u);
+  ASSERT_FALSE(rep.statusz_json.empty());
+  EXPECT_NE(rep.statusz_json.find("\"completed\":8"), std::string::npos);
+  EXPECT_NE(rep.statusz_text.find("# cbe-statusz v1"), std::string::npos);
+}
+
+TEST(Statusz, TenantRollupsAccountForEveryJob) {
+  const auto jobs = small_mix(32);
+  ServiceConfig cfg;
+  cfg.statusz.every_s = 0.0;
+  const ServiceReport rep = run_with(cfg, jobs);
+  // 4 tenants, 8 jobs each, all completed: the rollup must say exactly that.
+  for (int t = 0; t < 4; ++t) {
+    const std::string row = "{\"tenant\":" + std::to_string(t) +
+                            ",\"queued\":0,\"running\":0,\"backoff\":0,"
+                            "\"completed\":8";
+    EXPECT_NE(rep.statusz_json.find(row), std::string::npos)
+        << "missing tenant rollup: " << row;
+  }
+}
+
+// -- causal spans (DESIGN.md §12) --------------------------------------------
+
+// Every job-lifecycle trace event carries a span whose job field matches
+// the event's own pid, so a cross-component trace groups cleanly per job.
+TEST(Spans, JobLifecycleEventsCarryTheirJobsSpan) {
+  if (!CBE_TRACE_ENABLED)
+    GTEST_SKIP() << "tracing compiled out (CBE_TRACE=OFF)";
+  const auto jobs = small_mix(24);
+  ServiceConfig cfg;
+  cfg.fleet = platform::BladeFleetConfig::uniform(4);
+  cfg.fault_script = {kill_blade(1, 0.05)};
+  cfg.step_fail_rate = 0.02;
+  trace::TraceSink sink;
+  run_with(cfg, jobs, &sink);
+
+  std::set<std::uint32_t> span_jobs;
+  std::size_t tagged = 0;
+  for (const trace::Event& e : sink.events()) {
+    const trace::SpanParts p = trace::span_parts(e.span);
+    if (!p.valid) continue;
+    ++tagged;
+    span_jobs.insert(p.job);
+    // Job-lifecycle events name their job in pid; the span must agree.
+    switch (e.kind) {
+      case trace::EventKind::JobSubmit:
+      case trace::EventKind::JobAdmit:
+      case trace::EventKind::JobDispatch:
+      case trace::EventKind::JobComplete:
+      case trace::EventKind::JobRetry:
+      case trace::EventKind::JobMigrate:
+        EXPECT_EQ(p.job, static_cast<std::uint32_t>(e.pid))
+            << "span/job mismatch on kind " << static_cast<int>(e.kind);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(tagged, 0u);
+  EXPECT_EQ(span_jobs.size(), 24u) << "every job should appear in a span";
+}
+
+// A migrated job's span records the hop generation: the migration event's
+// span hop field must exceed a never-migrated job's.
+TEST(Spans, MigrationHopsAdvanceTheSpanGeneration) {
+  if (!CBE_TRACE_ENABLED)
+    GTEST_SKIP() << "tracing compiled out (CBE_TRACE=OFF)";
+  const auto jobs = small_mix(16);
+  ServiceConfig cfg;
+  cfg.fleet = platform::BladeFleetConfig::uniform(4);
+  cfg.fault_script = {kill_blade(0, 0.05), kill_blade(1, 0.1)};
+  trace::TraceSink sink;
+  const ServiceReport rep = run_with(cfg, jobs, &sink);
+  ASSERT_GT(rep.migrations, 0u);
+
+  bool saw_hop = false;
+  for (const trace::Event& e : sink.events()) {
+    if (e.kind != trace::EventKind::JobMigrate) continue;
+    const trace::SpanParts p = trace::span_parts(e.span);
+    ASSERT_TRUE(p.valid);
+    if (p.hop > 0) saw_hop = true;
+  }
+  EXPECT_TRUE(saw_hop) << "at least one migration span should carry hop > 0";
+}
